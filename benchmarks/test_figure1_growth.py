@@ -1,0 +1,18 @@
+"""Bench F1 — Figure 1: uncooperative vs cooperative peer growth.
+
+Regenerates the growth curves for the random and scale-free topologies and
+checks the paper's qualitative claims (linear growth, slope far below the
+admission-free ratio, topology independence).
+"""
+
+from __future__ import annotations
+
+from conftest import assert_mostly_passing
+
+
+def test_figure1_growth(benchmark, run_experiment):
+    result = run_experiment("figure1", benchmark)
+    assert set(result.series) == {"Random Network", "Scale-free Network"}
+    for label, points in result.series.items():
+        assert len(points) >= 2, f"series {label} has too few samples"
+    assert_mostly_passing(result, minimum_fraction=0.6)

@@ -1,0 +1,17 @@
+"""Bench F2 — Figure 2: cooperative reputation over time per arrival rate."""
+
+from __future__ import annotations
+
+from conftest import assert_mostly_passing
+
+
+def test_figure2_reputation_over_time(benchmark, run_experiment):
+    result = run_experiment("figure2", benchmark)
+    # One curve per arrival rate, every value a valid reputation.
+    assert len(result.series) == 8
+    for label, points in result.series.items():
+        assert label.startswith("Arrival Rate")
+        for _, value in points:
+            if value == value:  # skip NaN samples
+                assert 0.0 <= value <= 1.0
+    assert_mostly_passing(result, minimum_fraction=0.6)

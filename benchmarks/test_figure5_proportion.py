@@ -1,0 +1,19 @@
+"""Bench F5 — Figure 5: community proportions vs amount of reputation lent.
+
+Runs its own (smaller) introAmt sweep rather than reusing Figure 4's so the
+benchmark is self-contained and its timing meaningful on its own.
+"""
+
+from __future__ import annotations
+
+from conftest import assert_mostly_passing
+
+
+def test_figure5_lent_proportion(benchmark, run_experiment):
+    result = run_experiment(
+        "figure5", benchmark, amounts=(0.05, 0.15, 0.25, 0.35, 0.45)
+    )
+    for points in result.series.values():
+        for _, proportion in points:
+            assert 0.0 <= proportion <= 1.0
+    assert_mostly_passing(result, minimum_fraction=0.5)

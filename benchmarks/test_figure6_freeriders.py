@@ -1,0 +1,14 @@
+"""Bench F6 — Figure 6: composition and refusals vs freerider arrival fraction."""
+
+from __future__ import annotations
+
+from conftest import assert_mostly_passing
+
+
+def test_figure6_freerider_fraction(benchmark, run_experiment):
+    result = run_experiment("figure6", benchmark)
+    coop = dict(result.series["Cooperative Peers"])
+    # With only freeriders arriving, the cooperative community cannot exceed
+    # its value when only cooperative peers arrive.
+    assert coop[100.0] <= coop[0.0]
+    assert_mostly_passing(result, minimum_fraction=0.6)

@@ -1,0 +1,17 @@
+"""Bench E-SR — §4.1: decision success rate with vs without introductions."""
+
+from __future__ import annotations
+
+from conftest import assert_mostly_passing
+
+
+def test_success_rate_with_and_without_introductions(benchmark, run_experiment):
+    result = run_experiment("success", benchmark)
+    rates = [
+        value
+        for name, value in result.scalars.items()
+        if name.startswith("success rate —")
+    ]
+    assert len(rates) == 2
+    assert all(0.0 <= rate <= 1.0 for rate in rates)
+    assert_mostly_passing(result, minimum_fraction=0.5)

@@ -1,0 +1,27 @@
+"""Bench T1 — Table 1: the default simulation parameters.
+
+Regenerates the parameter table and verifies our defaults match the paper.
+Also times parameter construction/validation (a pure-CPU micro-benchmark).
+"""
+
+from __future__ import annotations
+
+from conftest import assert_mostly_passing
+
+from repro.config import SimulationParameters
+
+
+def test_table1_defaults(benchmark, run_experiment):
+    result = run_experiment("table1", benchmark)
+    assert_mostly_passing(result, minimum_fraction=1.0)
+    assert result.scalars["arrival_rate (paper)"] == result.scalars["arrival_rate (ours)"]
+
+
+def test_parameter_construction_throughput(benchmark):
+    """Micro-benchmark: building and validating SimulationParameters."""
+
+    def build() -> SimulationParameters:
+        return SimulationParameters(arrival_rate=0.02, intro_amount=0.2)
+
+    params = benchmark(build)
+    assert params.arrival_rate == 0.02

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Compare bootstrap policies for a file-sharing community with freeriders.
+
+The scenario the paper's introduction motivates: a cooperative file-sharing
+community that wants to keep growing, while a quarter of the peers knocking
+on the door are freeriders (and always badmouth their partners to protect
+themselves).  We compare three ways of treating newcomers:
+
+* **lending** — the paper's mechanism: an existing member stakes part of its
+  reputation on the newcomer;
+* **open** — everyone is admitted at a neutral reputation (the
+  "benefit of the doubt" family of systems);
+* **fixed credit** — everyone receives a flat starting credit, as BitTorrent's
+  optimistic unchoking or Scrivener's initial balance do.
+
+Run with::
+
+    python examples/bootstrap_policies.py
+"""
+
+from __future__ import annotations
+
+from repro import BootstrapMode, SimulationParameters, run_simulation
+from repro.analysis.tables import format_table
+
+
+def run_policy(mode: BootstrapMode, params: SimulationParameters):
+    """Run one policy and distill the numbers the comparison cares about."""
+    summary = run_simulation(params.with_overrides(bootstrap_mode=mode))
+    freerider_fraction_admitted = summary.admitted_uncooperative / max(
+        1, summary.arrivals_uncooperative
+    )
+    cooperative_fraction_admitted = summary.admitted_cooperative / max(
+        1, summary.arrivals_cooperative
+    )
+    return {
+        "policy": mode.value,
+        "coop admitted": f"{cooperative_fraction_admitted:.0%}",
+        "freeriders admitted": f"{freerider_fraction_admitted:.0%}",
+        "final freerider share": f"{summary.final_uncooperative_fraction:.1%}",
+        "success rate": f"{summary.success_rate:.2%}",
+    }
+
+
+def main() -> None:
+    params = SimulationParameters(
+        seed=11,
+        fraction_uncooperative=0.25,
+        arrival_rate=0.02,
+    ).scaled(0.06)
+    print(
+        f"File-sharing community: {params.num_initial_peers} founders, "
+        f"~{params.expected_arrivals():.0f} arrivals over "
+        f"{params.num_transactions:,} transactions, "
+        f"{params.fraction_uncooperative:.0%} of arrivals are freeriders.\n"
+    )
+
+    rows = [
+        run_policy(mode, params)
+        for mode in (BootstrapMode.LENDING, BootstrapMode.OPEN,
+                     BootstrapMode.FIXED_CREDIT)
+    ]
+    headers = list(rows[0])
+    print(format_table(headers, [[row[h] for h in headers] for row in rows]))
+
+    print(
+        "\nAll three policies keep the serve/deny decisions accurate (ROCQ does"
+        "\nthat regardless), but only reputation lending keeps most freeriders"
+        "\nfrom ever becoming members: open admission and fixed credit let every"
+        "\narrival in and rely on reputation decay after the damage is done."
+    )
+
+
+if __name__ == "__main__":
+    main()

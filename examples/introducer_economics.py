@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Explore the economics of introducing: stake size and introducer discipline.
+
+Two questions a community operator deploying reputation lending would ask:
+
+1. *How much reputation should an introducer stake?*  Too little and the
+   penalty for vouching for a freerider is toothless; too much and honest
+   members stop introducing anyone because they cannot afford the stake.
+2. *How much does introducer discipline matter?*  If most members are naive
+   (they vouch for anyone who asks), how many freeriders get in — and do the
+   naive members pay for it?
+
+Both questions are answered with small parameter sweeps over the public API.
+
+Run with::
+
+    python examples/introducer_economics.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationParameters
+from repro.analysis.plotting import ascii_plot
+from repro.analysis.tables import format_table
+from repro.workloads.sweep import ParameterSweep, SweepPoint
+
+
+def stake_size_sweep(base: SimulationParameters) -> None:
+    """Question 1: sweep the lent amount (the paper's Figure 4/5 axis)."""
+    amounts = (0.05, 0.15, 0.25, 0.35, 0.45)
+    sweep = ParameterSweep(
+        name="example-stake",
+        base=base,
+        points=[
+            SweepPoint(label=f"{amount:g}", x=amount,
+                       overrides={"intro_amount": amount})
+            for amount in amounts
+        ],
+        repeats=1,
+    )
+    result = sweep.run()
+    admitted = result.series(lambda s: float(s.final_total))
+    refused_stake = result.series(
+        lambda s: float(s.refused_due_to_introducer_reputation)
+    )
+    print("How the stake size shapes admission")
+    print(format_table(
+        ["stake (introAmt)", "total peers admitted", "refused: introducer too poor"],
+        [
+            [x, total, refused]
+            for (x, total, _), (_, refused, __) in zip(admitted, refused_stake)
+        ],
+    ))
+    print()
+
+
+def introducer_discipline_sweep(base: SimulationParameters) -> None:
+    """Question 2: sweep the fraction of naive introducers (Figure 3 axis)."""
+    fractions = (0.0, 0.5, 1.0)
+    sweep = ParameterSweep(
+        name="example-naive",
+        base=base,
+        points=[
+            SweepPoint(label=f"{fraction:g}", x=fraction,
+                       overrides={"fraction_naive": fraction})
+            for fraction in fractions
+        ],
+        repeats=1,
+    )
+    result = sweep.run()
+    uncoop = result.series(lambda s: float(s.final_uncooperative))
+    stakes_lost = result.series(lambda s: s.total_stakes_lost)
+    print("How introducer discipline shapes the community")
+    print(format_table(
+        ["fraction naive", "freeriders in system", "reputation lost by introducers"],
+        [
+            [x, count, lost]
+            for (x, count, _), (_, lost, __) in zip(uncoop, stakes_lost)
+        ],
+    ))
+    print()
+    print(ascii_plot(
+        {"freeriders admitted": [(x, y) for x, y, _ in uncoop]},
+        width=60,
+        height=10,
+        x_label="fraction of naive introducers",
+        y_label="freeriders in system",
+    ))
+    print()
+
+
+def main() -> None:
+    base = SimulationParameters(seed=23, arrival_rate=0.02).scaled(0.04)
+    print(
+        f"Each configuration below simulates {base.num_transactions:,} "
+        f"transactions with ~{base.expected_arrivals():.0f} arrivals.\n"
+    )
+    stake_size_sweep(base)
+    introducer_discipline_sweep(base)
+    print(
+        "Takeaways: a moderate stake (~0.1-0.15) already disciplines introducers"
+        "\nwithout pricing them out, and even a fully naive community is partly"
+        "\nself-correcting — naive introducers bleed the reputation they keep"
+        "\nstaking on freeriders, and eventually cannot introduce anyone."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: run one reputation-lending community and inspect the outcome.
+
+This is the smallest useful program against the public API: configure the
+simulation (the defaults are the paper's Table 1, scaled down here so the
+script finishes in a few seconds), run it, and look at what the lending
+mechanism did — who got in, who was kept out, and how reputations evolved.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationParameters, run_simulation
+from repro.analysis.plotting import sparkline
+from repro.analysis.tables import format_table
+
+
+def main() -> None:
+    # The paper's operating point, shortened from 500k to 40k transactions so
+    # the example runs in a few seconds.  All other Table 1 values apply.
+    params = SimulationParameters(seed=7).scaled(0.08)
+    print(f"Simulating {params.num_transactions:,} transactions "
+          f"(arrival rate {params.arrival_rate}, "
+          f"{params.fraction_uncooperative:.0%} of arrivals uncooperative)...\n")
+
+    summary = run_simulation(params)
+
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ["initial cooperative members", params.num_initial_peers],
+            ["cooperative arrivals", summary.arrivals_cooperative],
+            ["uncooperative arrivals", summary.arrivals_uncooperative],
+            ["cooperative peers admitted", summary.admitted_cooperative],
+            ["uncooperative peers admitted", summary.admitted_uncooperative],
+            ["refused: introducer lacked reputation",
+             summary.refused_due_to_introducer_reputation],
+            ["refused: selective introducer said no",
+             summary.refused_uncooperative_by_selective],
+            ["introductions granted", summary.introductions_granted],
+            ["audits passed / failed",
+             f"{summary.audits_passed} / {summary.audits_failed}"],
+            ["decision success rate", f"{summary.success_rate:.2%}"],
+            ["final community size", summary.final_total],
+            ["final uncooperative fraction",
+             f"{summary.final_uncooperative_fraction:.2%}"],
+            ["wall-clock seconds", f"{summary.elapsed_seconds:.1f}"],
+        ],
+    ))
+
+    coop = summary.cooperative_reputation.finite()
+    uncoop = summary.uncooperative_reputation.finite()
+    print("\naverage reputation over time (sampled every "
+          f"{params.sample_interval:g} time units)")
+    print(f"  cooperative peers:   {sparkline(coop.values)}  "
+          f"(final {coop.last_value():.3f})")
+    print(f"  uncooperative peers: {sparkline(uncoop.values)}  "
+          f"(final {uncoop.last_value(0.0):.3f})")
+    print("\nThe lending mechanism admits nearly every cooperative arrival while")
+    print("keeping the majority of freeriders out — without hurting the accuracy")
+    print("of the underlying ROCQ serve/deny decisions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper and write a report.
+
+This drives the same experiment harness the benchmark suite uses.  By default
+it runs at 4 % of the paper's horizon with a single repeat per sweep point so
+the whole thing finishes in a few minutes; pass ``--scale 1.0 --repeats 10``
+to run the paper's exact operating point (hours of CPU time).
+
+Run with::
+
+    python examples/reproduce_paper.py --scale 0.04 --repeats 1 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.storage import ResultStore
+from repro.experiments import render_report, run_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.04,
+                        help="fraction of the paper's 500k-transaction horizon")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="repeats per sweep point (the paper uses 10)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="subset of experiments (e.g. figure1 figure4)")
+    parser.add_argument("--out", type=Path, default=Path("results"),
+                        help="output directory for JSON results and report.md")
+    args = parser.parse_args(argv)
+
+    store = ResultStore(args.out)
+    results = run_all(
+        scale=args.scale,
+        repeats=args.repeats,
+        seed=args.seed,
+        only=args.only,
+        store=store,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    report = render_report(results)
+    report_path = store.root / "report.md"
+    report_path.write_text(report, encoding="utf-8")
+
+    print(report)
+    print(f"\nJSON results and report written to {store.root}/", file=sys.stderr)
+    total = sum(len(result.checks) for result in results.values())
+    passed = sum(
+        sum(1 for check in result.checks if check.passed) for result in results.values()
+    )
+    print(f"shape checks passed: {passed}/{total}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

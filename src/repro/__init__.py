@@ -1,0 +1,69 @@
+"""repro — a reproduction of "Reputation Lending for Virtual Communities".
+
+The library implements the paper's reputation-lending bootstrap mechanism
+(Garg, Montresor, Battiti, 2005) together with every substrate its evaluation
+depends on: the ROCQ reputation scheme, a Chord-style DHT overlay for score
+manager assignment, random and scale-free interaction topologies, and a
+discrete-event P2P transaction simulator.
+
+Quickstart::
+
+    from repro import SimulationParameters, run_simulation
+
+    params = SimulationParameters(num_transactions=50_000, seed=7)
+    summary = run_simulation(params)
+    print(f"cooperative peers:   {summary.final_cooperative}")
+    print(f"uncooperative peers: {summary.final_uncooperative}")
+    print(f"decision success:    {summary.success_rate:.2%}")
+
+The experiment harness that regenerates every figure of the paper lives in
+:mod:`repro.experiments`; parameter sweeps and scenario presets in
+:mod:`repro.workloads`; tables/plots/persistence helpers in
+:mod:`repro.analysis`.
+"""
+
+from .config import BootstrapMode, PAPER_DEFAULTS, SimulationParameters, Topology
+from .errors import (
+    ConfigurationError,
+    DuplicateIntroductionError,
+    EmptyPopulationError,
+    InsufficientReputationError,
+    IntroductionRefusedError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    UnknownPeerError,
+    WaitingPeriodError,
+)
+from .metrics.summary import RunSummary
+from .rng import RandomStreams, derive_seed
+from .sim.engine import Simulation, run_simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Configuration
+    "SimulationParameters",
+    "PAPER_DEFAULTS",
+    "Topology",
+    "BootstrapMode",
+    # Running simulations
+    "Simulation",
+    "run_simulation",
+    "RunSummary",
+    # Randomness
+    "RandomStreams",
+    "derive_seed",
+    # Errors
+    "ReproError",
+    "ConfigurationError",
+    "UnknownPeerError",
+    "DuplicateIntroductionError",
+    "IntroductionRefusedError",
+    "InsufficientReputationError",
+    "WaitingPeriodError",
+    "ProtocolError",
+    "SimulationError",
+    "EmptyPopulationError",
+]

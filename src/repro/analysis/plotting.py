@@ -1,0 +1,86 @@
+"""Terminal-friendly plotting: ASCII line plots and sparklines."""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_plot", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_SERIES_MARKS = "*+oxs#@%"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a sequence of values as a one-line unicode sparkline.
+
+    NaN values render as spaces.  Useful for compact run logs::
+
+        >>> sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        '▁▂▃▄▅▆▇█'
+    """
+    finite = [v for v in values if isinstance(v, (int, float)) and math.isfinite(v)]
+    if not finite:
+        return " " * len(values)
+    low, high = min(finite), max(finite)
+    span = high - low
+    chars = []
+    for value in values:
+        if not (isinstance(value, (int, float)) and math.isfinite(value)):
+            chars.append(" ")
+            continue
+        if span == 0:
+            chars.append(_SPARK_LEVELS[len(_SPARK_LEVELS) // 2])
+            continue
+        level = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more (x, y) series as an ASCII scatter/line plot.
+
+    Each series gets its own marker character; the legend maps markers back
+    to series names.  Intended for qualitative shape inspection (which the
+    reproduction cares about), not for precise reading of values.
+    """
+    points: list[tuple[float, float, str]] = []
+    legend: list[str] = []
+    for index, (name, data) in enumerate(series.items()):
+        mark = _SERIES_MARKS[index % len(_SERIES_MARKS)]
+        legend.append(f"{mark} = {name}")
+        for x, y in data:
+            if math.isfinite(x) and math.isfinite(y):
+                points.append((x, y, mark))
+    if not points:
+        return f"{title}\n(no data)"
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for x, y, mark in points:
+        col = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int((y - y_min) / y_span * (height - 1))
+        grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y_label}  [{y_min:g} .. {y_max:g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_label}  [{x_min:g} .. {x_max:g}]")
+    lines.append("legend: " + ", ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Persistence of experiment results (JSON documents and CSV series).
+
+The :class:`ResultStore` writes one JSON file per experiment (plus optional
+CSV exports of individual series) under a results directory, so a long sweep
+can be analysed, re-plotted and compared against the paper without being
+re-run.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["ResultStore"]
+
+
+@dataclass
+class ResultStore:
+    """Reads and writes experiment results under ``root``."""
+
+    root: Path
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # JSON documents                                                       #
+    # ------------------------------------------------------------------ #
+    def path_for(self, name: str, suffix: str = ".json") -> Path:
+        """Path of the document called ``name`` (sanitised to a slug)."""
+        slug = "".join(c if c.isalnum() or c in "-_" else "_" for c in name)
+        return self.root / f"{slug}{suffix}"
+
+    def save_json(self, name: str, document: Any) -> Path:
+        """Write ``document`` (anything JSON-serialisable) and return its path."""
+        path = self.path_for(name)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True, allow_nan=True)
+        return path
+
+    def load_json(self, name: str) -> Any:
+        """Read back a document written by :meth:`save_json`."""
+        path = self.path_for(name)
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def exists(self, name: str) -> bool:
+        """Whether a JSON document called ``name`` exists."""
+        return self.path_for(name).exists()
+
+    def list_documents(self) -> list[str]:
+        """Names of every stored JSON document (without extension)."""
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    # ------------------------------------------------------------------ #
+    # CSV series                                                           #
+    # ------------------------------------------------------------------ #
+    def save_csv(
+        self, name: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]
+    ) -> Path:
+        """Write a CSV file and return its path."""
+        path = self.path_for(name, suffix=".csv")
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(list(headers))
+            for row in rows:
+                writer.writerow(list(row))
+        return path
+
+    def load_csv(self, name: str) -> tuple[list[str], list[list[str]]]:
+        """Read back a CSV written by :meth:`save_csv` (headers, rows)."""
+        path = self.path_for(name, suffix=".csv")
+        with open(path, "r", encoding="utf-8", newline="") as handle:
+            reader = csv.reader(handle)
+            rows = list(reader)
+        if not rows:
+            return [], []
+        return rows[0], rows[1:]

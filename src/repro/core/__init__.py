@@ -1,0 +1,58 @@
+"""Reputation lending — the paper's primary contribution.
+
+This package implements the full admission pipeline described in §2-3 of the
+paper:
+
+* **introduction protocol** (:mod:`~repro.core.introduction`): a new entrant
+  asks exactly one existing member for an introduction, a waiting period
+  elapses before the answer, and duplicate concurrent introductions are
+  detected and punished;
+* **introducer policies** (:mod:`~repro.core.policies`): *naive* introducers
+  accept anyone, *selective* introducers refuse uncooperative applicants
+  except with a small error rate;
+* **lending accounting** (:mod:`~repro.core.lending`): the introducer stakes
+  ``introAmt`` of its reputation, the entrant is credited the same amount,
+  and the stake is settled at audit time (returned with a reward, or lost);
+* **audits** (:mod:`~repro.core.audit`): after ``auditTrans`` transactions the
+  entrant's score managers judge its behaviour and settle the contract;
+* **admission control** (:mod:`~repro.core.admission`): ties the above
+  together and also implements the baseline bootstrap policies (open
+  admission, fixed initial credit, closed) used for comparison experiments.
+"""
+
+from .introduction import (
+    IntroductionDecision,
+    IntroductionRegistry,
+    IntroductionRequest,
+    RefusalReason,
+)
+from .policies import (
+    IntroducerPolicy,
+    NaivePolicy,
+    RefusingPolicy,
+    SelectivePolicy,
+    assign_policy,
+)
+from .lending import LendingContract, LendingManager, LendingStats
+from .audit import AuditOutcome, AuditResult
+from .admission import AdmissionController, AdmissionRequest, AdmissionResult
+
+__all__ = [
+    "IntroductionDecision",
+    "IntroductionRegistry",
+    "IntroductionRequest",
+    "RefusalReason",
+    "IntroducerPolicy",
+    "NaivePolicy",
+    "RefusingPolicy",
+    "SelectivePolicy",
+    "assign_policy",
+    "LendingContract",
+    "LendingManager",
+    "LendingStats",
+    "AuditOutcome",
+    "AuditResult",
+    "AdmissionController",
+    "AdmissionRequest",
+    "AdmissionResult",
+]

@@ -1,0 +1,56 @@
+"""Performance audits of newly introduced peers.
+
+§3 ("Performance audit"): after a new entrant has completed ``auditTrans``
+transactions, its score managers audit its performance.  If the reputation is
+deemed satisfactory the introducer gets the lent amount back plus a reward
+``rewardAmt``; otherwise the introducer loses the stake and the entrant's
+stored reputation is reduced by ``introAmt`` (floored at zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..ids import PeerId
+
+__all__ = ["AuditOutcome", "AuditResult", "evaluate_audit"]
+
+
+class AuditOutcome(str, Enum):
+    """Verdict of a performance audit."""
+
+    PASSED = "passed"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """Record of one settled audit."""
+
+    entrant: PeerId
+    introducer: PeerId
+    outcome: AuditOutcome
+    entrant_reputation: float
+    time: float
+    #: Amount actually returned to the introducer (stake + reward, clamped).
+    returned_to_introducer: float = 0.0
+    #: Amount actually removed from the entrant on a failed audit.
+    deducted_from_entrant: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        """Convenience flag for filtering."""
+        return self.outcome == AuditOutcome.PASSED
+
+
+def evaluate_audit(entrant_reputation: float, pass_threshold: float) -> AuditOutcome:
+    """Judge an entrant's performance from its current reputation.
+
+    The paper leaves "deemed satisfactory based on its reputation value"
+    unspecified; we use a configurable threshold (default 0.5, the midpoint
+    that separates mostly-good from mostly-bad service under ROCQ).
+    """
+    if entrant_reputation >= pass_threshold:
+        return AuditOutcome.PASSED
+    return AuditOutcome.FAILED

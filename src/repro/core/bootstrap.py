@@ -1,0 +1,116 @@
+"""Bootstrap strategies: how an admitted entrant obtains its initial standing.
+
+The paper contrasts its lending mechanism with two families of alternatives
+(§1): systems that give every newcomer the benefit of the doubt (admit it at
+a neutral reputation — our ``OPEN`` mode) and systems that grant a flat
+initial credit to get newcomers started, like BitTorrent's optimistic
+unchoking slice or Scrivener's initial balance (our ``FIXED_CREDIT`` mode).
+
+A bootstrap strategy answers a single question — *given that this peer is
+being admitted right now, what should its score managers initially store?* —
+and is deliberately unaware of the admission decision itself, which is the
+:class:`~repro.core.admission.AdmissionController`'s job.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..config import BootstrapMode, SimulationParameters
+from ..ids import PeerId
+from ..rocq.protocol import AdjustmentKind, ReputationAdjustment
+from ..rocq.store import ReputationStore
+
+__all__ = [
+    "BootstrapStrategy",
+    "LendingBootstrap",
+    "OpenBootstrap",
+    "FixedCreditBootstrap",
+    "make_bootstrap_strategy",
+]
+
+
+class BootstrapStrategy(abc.ABC):
+    """Establishes the initial reputation standing of an admitted entrant."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def grant_initial_standing(
+        self, store: ReputationStore, entrant: PeerId, time: float
+    ) -> None:
+        """Install whatever initial reputation the mode grants the entrant."""
+
+
+@dataclass
+class LendingBootstrap(BootstrapStrategy):
+    """The paper's mechanism: the entrant's standing comes from the lender.
+
+    Nothing to do here — the credit is applied by the
+    :class:`~repro.core.lending.LendingManager` as part of the lend/settle
+    cycle, so the strategy is intentionally a no-op.  It exists so every mode
+    flows through the same code path in the admission controller.
+    """
+
+    name: str = "lending"
+
+    def grant_initial_standing(
+        self, store: ReputationStore, entrant: PeerId, time: float
+    ) -> None:
+        return None
+
+
+@dataclass
+class OpenBootstrap(BootstrapStrategy):
+    """Open admission at a neutral reputation (the "no introductions" baseline)."""
+
+    initial_reputation: float = 0.5
+    name: str = "open"
+
+    def grant_initial_standing(
+        self, store: ReputationStore, entrant: PeerId, time: float
+    ) -> None:
+        store.set_reputation(entrant, self.initial_reputation, time)
+
+
+@dataclass
+class FixedCreditBootstrap(BootstrapStrategy):
+    """Flat initial credit à la BitTorrent / Scrivener.
+
+    Unlike :class:`OpenBootstrap` the credit is applied as an adjustment
+    message, so it travels the same score-manager path as lending credits and
+    shows up in the store's adjustment counters.
+    """
+
+    credit: float = 0.3
+    name: str = "fixed_credit"
+
+    def grant_initial_standing(
+        self, store: ReputationStore, entrant: PeerId, time: float
+    ) -> None:
+        store.apply_adjustment(
+            ReputationAdjustment(
+                kind=AdjustmentKind.BOOTSTRAP_CREDIT,
+                issuer=entrant,
+                subject=entrant,
+                delta=self.credit,
+                time=time,
+            )
+        )
+
+
+def make_bootstrap_strategy(params: SimulationParameters) -> BootstrapStrategy:
+    """Build the strategy matching ``params.bootstrap_mode``.
+
+    ``CLOSED`` has no strategy (nobody is ever admitted); asking for one is a
+    programming error, hence the ValueError.
+    """
+    mode = params.bootstrap_mode
+    if mode == BootstrapMode.LENDING:
+        return LendingBootstrap()
+    if mode == BootstrapMode.OPEN:
+        return OpenBootstrap(initial_reputation=params.open_initial_reputation)
+    if mode == BootstrapMode.FIXED_CREDIT:
+        return FixedCreditBootstrap(credit=params.fixed_initial_credit)
+    raise ValueError(f"no bootstrap strategy exists for mode {mode!r}")

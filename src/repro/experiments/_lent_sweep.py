@@ -1,0 +1,50 @@
+"""Shared sweep over the amount of reputation lent (Figures 4 and 5)."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..config import SimulationParameters
+from ..workloads.sweep import ParameterSweep, SweepPoint, SweepResult
+
+__all__ = ["LENT_AMOUNTS", "build_lent_sweep", "run_lent_sweep"]
+
+#: introAmt values plotted on the x axis of Figures 4 and 5.
+LENT_AMOUNTS = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45)
+
+
+def build_lent_sweep(
+    base: SimulationParameters,
+    amounts: Sequence[float],
+    scale: float,
+    repeats: int,
+    name: str = "lent_amount",
+) -> ParameterSweep:
+    """Build the introAmt sweep shared by Figure 4 and Figure 5.
+
+    ``min_intro_reputation`` is left at ``None`` so the paper's rule
+    (a margin above the lent amount) tracks the swept value automatically.
+    """
+    points = [
+        SweepPoint(
+            label=f"lend-{amount:g}",
+            x=amount,
+            overrides={"intro_amount": amount},
+        )
+        for amount in amounts
+    ]
+    return ParameterSweep(
+        name=name, base=base, points=points, repeats=repeats, scale=scale
+    )
+
+
+def run_lent_sweep(
+    base: SimulationParameters,
+    amounts: Sequence[float],
+    scale: float,
+    repeats: int,
+    progress: Callable[[str], None] | None = None,
+    name: str = "lent_amount",
+) -> SweepResult:
+    """Run the shared introAmt sweep."""
+    return build_lent_sweep(base, amounts, scale, repeats, name=name).run(progress=progress)

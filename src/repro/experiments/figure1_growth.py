@@ -1,0 +1,144 @@
+"""Figure 1 — growth of uncooperative vs cooperative peers.
+
+The paper starts from 500 cooperative founders, lets peers arrive at
+``lambda = 0.01`` (25 % uncooperative) and plots, over the course of the run,
+the number of uncooperative peers in the system against the number of
+cooperative peers, once for the random topology and once for the scale-free
+topology.  Claims we check:
+
+* the uncooperative count grows roughly linearly with the cooperative count;
+* the slope is far below the 1:3 ratio that unrestricted admission would
+  produce, because selective introducers turn most freeriders away;
+* topology makes no significant difference.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..analysis.comparison import ShapeCheck, monotonic
+from ..config import Topology
+from ..workloads.sweep import ParameterSweep, SweepPoint
+from .base import Experiment, ExperimentResult
+
+__all__ = ["Figure1Growth"]
+
+_SERIES_LABELS = {
+    Topology.RANDOM: "Random Network",
+    Topology.SCALE_FREE: "Scale-free Network",
+}
+
+
+class Figure1Growth(Experiment):
+    """Reproduce Figure 1 (uncooperative vs cooperative peer growth)."""
+
+    experiment_id = "figure1"
+    title = "Figure 1 — uncooperative vs cooperative peers"
+    x_label = "cooperative peers in system"
+    y_label = "uncooperative peers in system"
+
+    def run(self, progress: Callable[[str], None] | None = None) -> ExperimentResult:
+        result = self._new_result()
+        sweep = ParameterSweep(
+            name=self.experiment_id,
+            base=self.base_params,
+            points=[
+                SweepPoint(label=topology.value, x=float(index), overrides={"topology": topology})
+                for index, topology in enumerate(_SERIES_LABELS)
+            ],
+            repeats=self.repeats,
+            scale=self.scale,
+        )
+        outcome = sweep.run(progress=progress)
+        for topology, label in _SERIES_LABELS.items():
+            coop = outcome.averaged_timeseries(
+                topology.value, lambda s: s.cooperative_count
+            )
+            uncoop = outcome.averaged_timeseries(
+                topology.value, lambda s: s.uncooperative_count
+            )
+            points = list(zip(coop.values, uncoop.values))
+            result.series[label] = [(float(x), float(y)) for x, y in points]
+            final_coop, _ = outcome.mean_metric(
+                topology.value, lambda s: float(s.final_cooperative)
+            )
+            final_uncoop, _ = outcome.mean_metric(
+                topology.value, lambda s: float(s.final_uncooperative)
+            )
+            arrivals_uncoop, _ = outcome.mean_metric(
+                topology.value, lambda s: float(s.arrivals_uncooperative)
+            )
+            result.scalars[f"final cooperative ({label})"] = final_coop
+            result.scalars[f"final uncooperative ({label})"] = final_uncoop
+            result.scalars[f"uncooperative arrivals ({label})"] = arrivals_uncoop
+            result.scalars[f"uncooperative admitted fraction ({label})"] = (
+                final_uncoop / arrivals_uncoop if arrivals_uncoop else 0.0
+            )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Shape checks                                                         #
+    # ------------------------------------------------------------------ #
+    def checks(self) -> Sequence[ShapeCheck]:
+        def growth_is_monotonic(result: ExperimentResult) -> tuple[bool, str]:
+            details = []
+            for label, points in result.series.items():
+                ok, detail = monotonic(points, increasing=True, tolerance=2.0)
+                details.append(f"{label}: {detail}")
+                if not ok:
+                    return False, "; ".join(details)
+            return True, "; ".join(details)
+
+        def slope_below_admission_free(result: ExperimentResult) -> tuple[bool, str]:
+            ratio = self.base_params.fraction_uncooperative / (
+                1.0 - self.base_params.fraction_uncooperative
+            )
+            worst = 0.0
+            for label in result.series:
+                coop = result.scalars[f"final cooperative ({label})"]
+                uncoop = result.scalars[f"final uncooperative ({label})"]
+                grown_coop = coop - self.base_params.num_initial_peers
+                if grown_coop <= 0:
+                    continue
+                worst = max(worst, uncoop / grown_coop)
+            passed = worst < ratio * 0.85
+            return passed, (
+                f"worst uncoop/coop-growth slope {worst:.3f} vs admission-free "
+                f"ratio {ratio:.3f}"
+            )
+
+        def topology_independent(result: ExperimentResult) -> tuple[bool, str]:
+            # Compare the *fraction* of uncooperative arrivals that got in:
+            # absolute counts differ across topologies simply because each
+            # sweep point uses its own arrival stream.
+            fractions = [
+                result.scalars[f"uncooperative admitted fraction ({label})"]
+                for label in _SERIES_LABELS.values()
+            ]
+            spread = max(fractions) - min(fractions)
+            return spread <= 0.25, (
+                "uncooperative admitted fractions "
+                f"{[round(f, 3) for f in fractions]} differ by {spread:.3f} "
+                "across topologies"
+            )
+
+        return [
+            ShapeCheck(
+                name="uncooperative count grows with cooperative count",
+                predicate=growth_is_monotonic,
+                paper_claim="'the number of uncooperative peers in the system "
+                "increases linearly with the number of cooperative peers'",
+            ),
+            ShapeCheck(
+                name="slope well below the admission-free 1:3 ratio",
+                predicate=slope_below_admission_free,
+                paper_claim="'the slope of the increase is significantly less than "
+                "one would expect if all peers were let into the system'",
+            ),
+            ShapeCheck(
+                name="growth is topology independent",
+                predicate=topology_independent,
+                paper_claim="'the rate at which the number of uncooperative peers "
+                "increases is independent of the network topology'",
+            ),
+        ]

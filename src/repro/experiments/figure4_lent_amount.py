@@ -1,0 +1,130 @@
+"""Figure 4 — community composition and refusals vs amount of reputation lent.
+
+The paper sweeps ``introAmt`` from 0.05 to 0.45 (reward fixed at 20 % of the
+stake) and plots four curves: cooperative peers in the system, uncooperative
+peers in the system, entries refused because the introducer lacked enough
+reputation, and entries refused to uncooperative peers by selective
+introducers.  Claims we check:
+
+* total admissions are roughly unaffected for small stakes and decline once
+  the stake grows past ~0.15;
+* refusals due to insufficient introducer reputation increase with the stake;
+* refusals of uncooperative applicants by selective introducers stay flat
+  (the applicant mix does not change with the stake).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..analysis.comparison import ShapeCheck, monotonic, roughly_flat
+from ..workloads.sweep import SweepResult
+from ._lent_sweep import LENT_AMOUNTS, run_lent_sweep
+from .base import Experiment, ExperimentResult
+
+__all__ = ["Figure4LentAmount"]
+
+
+class Figure4LentAmount(Experiment):
+    """Reproduce Figure 4 (counts and refusal reasons vs introAmt)."""
+
+    experiment_id = "figure4"
+    title = "Figure 4 — peers and refusals vs amount of reputation lent"
+    x_label = "amount of reputation lent by introducer"
+    y_label = "number of peers"
+
+    def __init__(self, *args, amounts: Sequence[float] = LENT_AMOUNTS, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.amounts = tuple(amounts)
+        #: Populated by :meth:`run`; Figure 5 reuses it to avoid re-running.
+        self.sweep_result: SweepResult | None = None
+
+    def run(self, progress: Callable[[str], None] | None = None) -> ExperimentResult:
+        result = self._new_result()
+        # The paper fixes the reward at 20 % of the stake for this sweep.
+        base = self.base_params
+        outcome = run_lent_sweep(
+            base=base,
+            amounts=self.amounts,
+            scale=self.scale,
+            repeats=self.repeats,
+            progress=progress,
+            name=self.experiment_id,
+        )
+        self.sweep_result = outcome
+        result.series["Cooperative Peers"] = [
+            (x, mean)
+            for x, mean, _ in outcome.series(lambda s: float(s.final_cooperative))
+        ]
+        result.series["Uncooperative Peers"] = [
+            (x, mean)
+            for x, mean, _ in outcome.series(lambda s: float(s.final_uncooperative))
+        ]
+        result.series["Entry Refused due to Introducer Reputation"] = [
+            (x, mean)
+            for x, mean, _ in outcome.series(
+                lambda s: float(s.refused_due_to_introducer_reputation)
+            )
+        ]
+        result.series["Entry Refused to Uncooperative Peer"] = [
+            (x, mean)
+            for x, mean, _ in outcome.series(
+                lambda s: float(s.refused_uncooperative_by_selective)
+            )
+        ]
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Shape checks                                                         #
+    # ------------------------------------------------------------------ #
+    def checks(self) -> Sequence[ShapeCheck]:
+        def reputation_refusals_increase(result: ExperimentResult) -> tuple[bool, str]:
+            points = result.series["Entry Refused due to Introducer Reputation"]
+            maximum = max((y for _, y in points), default=0.0)
+            tolerance = max(2.0, 0.15 * maximum)
+            ok, detail = monotonic(points, increasing=True, tolerance=tolerance)
+            if not ok:
+                return False, detail
+            first, last = points[0][1], points[-1][1]
+            return last > first, f"refusals rise from {first:.0f} to {last:.0f}"
+
+        def selective_refusals_flat(result: ExperimentResult) -> tuple[bool, str]:
+            points = result.series["Entry Refused to Uncooperative Peer"]
+            return roughly_flat(points, relative_band=0.35)
+
+        def total_declines_for_large_stakes(result: ExperimentResult) -> tuple[bool, str]:
+            coop = dict(result.series["Cooperative Peers"])
+            uncoop = dict(result.series["Uncooperative Peers"])
+            totals = {x: coop[x] + uncoop.get(x, 0.0) for x in coop}
+            small = [totals[x] for x in totals if x <= 0.15]
+            large = [totals[x] for x in totals if x >= 0.35]
+            if not small or not large:
+                return True, "sweep does not span both regimes"
+            passed = min(large) < max(small)
+            return passed, (
+                f"total peers: {max(small):.0f} at small stakes vs "
+                f"{min(large):.0f} at large stakes"
+            )
+
+        return [
+            ShapeCheck(
+                name="refusals due to introducer reputation rise with the stake",
+                predicate=reputation_refusals_increase,
+                paper_claim="'as the amount of reputation being lent upon introduction "
+                "increases, the number of peers refused entry because their introducer "
+                "did not have enough reputation increases'",
+            ),
+            ShapeCheck(
+                name="refusals of uncooperative applicants stay flat",
+                predicate=selective_refusals_flat,
+                paper_claim="'the number of peers being refused entry by selective "
+                "introducers remains the same'",
+            ),
+            ShapeCheck(
+                name="total admissions decline once the stake is large",
+                predicate=total_declines_for_large_stakes,
+                paper_claim="'The number of peers admitted remains more or less the "
+                "same for introAmt <= 0.15 but starts decreasing once introAmt becomes "
+                "larger'",
+            ),
+        ]

@@ -1,0 +1,101 @@
+"""Figure 5 — community proportions vs amount of reputation lent.
+
+Same sweep as Figure 4 but plotting the *proportion* of cooperative and
+uncooperative peers in the final community.  The paper's point: raising the
+stake beyond ~0.15 removes reputation from the system and keeps peers out
+"without distinguishing between cooperative and uncooperative nodes" — the
+relative proportions barely move.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..analysis.comparison import ShapeCheck, roughly_flat
+from ..workloads.sweep import SweepResult
+from ._lent_sweep import LENT_AMOUNTS, run_lent_sweep
+from .base import Experiment, ExperimentResult
+
+__all__ = ["Figure5LentProportion"]
+
+
+class Figure5LentProportion(Experiment):
+    """Reproduce Figure 5 (final proportions vs introAmt)."""
+
+    experiment_id = "figure5"
+    title = "Figure 5 — proportion of peers vs amount of reputation lent"
+    x_label = "amount of reputation lent by introducer"
+    y_label = "proportion of peers"
+
+    def __init__(
+        self,
+        *args,
+        amounts: Sequence[float] = LENT_AMOUNTS,
+        shared_sweep: SweepResult | None = None,
+        **kwargs,
+    ):
+        """``shared_sweep`` lets the runner reuse Figure 4's runs verbatim."""
+        super().__init__(*args, **kwargs)
+        self.amounts = tuple(amounts)
+        self.shared_sweep = shared_sweep
+
+    def run(self, progress: Callable[[str], None] | None = None) -> ExperimentResult:
+        result = self._new_result()
+        outcome = self.shared_sweep
+        if outcome is None:
+            outcome = run_lent_sweep(
+                base=self.base_params,
+                amounts=self.amounts,
+                scale=self.scale,
+                repeats=self.repeats,
+                progress=progress,
+                name=self.experiment_id,
+            )
+        else:
+            result.notes.append("reused the simulation runs of figure4 (same sweep)")
+        coop = outcome.series(lambda s: float(s.final_cooperative))
+        uncoop = outcome.series(lambda s: float(s.final_uncooperative))
+        coop_points = []
+        uncoop_points = []
+        for (x, coop_mean, _), (_, uncoop_mean, _) in zip(coop, uncoop):
+            total = coop_mean + uncoop_mean
+            if total <= 0:
+                continue
+            coop_points.append((x, coop_mean / total))
+            uncoop_points.append((x, uncoop_mean / total))
+        result.series["Cooperative Peers"] = coop_points
+        result.series["Uncooperative Peers"] = uncoop_points
+        return result
+
+    def checks(self) -> Sequence[ShapeCheck]:
+        def proportions_flat(result: ExperimentResult) -> tuple[bool, str]:
+            ok_coop, detail_coop = roughly_flat(
+                result.series["Cooperative Peers"], relative_band=0.1
+            )
+            ok_uncoop, detail_uncoop = roughly_flat(
+                result.series["Uncooperative Peers"], relative_band=0.6
+            )
+            detail = f"cooperative: {detail_coop}; uncooperative: {detail_uncoop}"
+            return ok_coop and ok_uncoop, detail
+
+        def proportions_sum_to_one(result: ExperimentResult) -> tuple[bool, str]:
+            coop = dict(result.series["Cooperative Peers"])
+            uncoop = dict(result.series["Uncooperative Peers"])
+            worst = max(
+                (abs(coop[x] + uncoop.get(x, 0.0) - 1.0) for x in coop), default=0.0
+            )
+            return worst < 1e-9, f"max |coop + uncoop - 1| = {worst:.2e}"
+
+        return [
+            ShapeCheck(
+                name="relative proportions barely change with the stake",
+                predicate=proportions_flat,
+                paper_claim="'the relative proportions cooperative/uncooperative nodes "
+                "does not change significantly'",
+            ),
+            ShapeCheck(
+                name="proportions are complementary",
+                predicate=proportions_sum_to_one,
+                paper_claim="internal consistency of the figure",
+            ),
+        ]

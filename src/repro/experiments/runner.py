@@ -1,0 +1,188 @@
+"""Run every experiment and render a paper-vs-measured report.
+
+Usage from Python::
+
+    from repro.experiments import run_all, render_report
+
+    results = run_all(scale=0.05, repeats=2, seed=1)
+    print(render_report(results))
+
+or from the command line::
+
+    python -m repro.experiments.runner --scale 0.05 --repeats 2 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Mapping, Type
+
+from ..analysis.storage import ResultStore
+from ..analysis.tables import format_markdown_table
+from ..config import SimulationParameters
+from .base import Experiment, ExperimentResult
+from .figure1_growth import Figure1Growth
+from .figure2_reputation_time import Figure2ReputationOverTime
+from .figure3_naive_proportion import Figure3NaiveProportion
+from .figure4_lent_amount import Figure4LentAmount
+from .figure5_lent_proportion import Figure5LentProportion
+from .figure6_freerider_fraction import Figure6FreeriderFraction
+from .success_rate import SuccessRateExperiment
+from .table1_parameters import Table1Parameters
+
+__all__ = ["EXPERIMENTS", "make_experiment", "run_all", "render_report", "main"]
+
+#: Registry of every experiment, in the order the paper presents them.
+EXPERIMENTS: dict[str, Type[Experiment]] = {
+    "table1": Table1Parameters,
+    "figure1": Figure1Growth,
+    "success": SuccessRateExperiment,
+    "figure2": Figure2ReputationOverTime,
+    "figure3": Figure3NaiveProportion,
+    "figure4": Figure4LentAmount,
+    "figure5": Figure5LentProportion,
+    "figure6": Figure6FreeriderFraction,
+}
+
+
+def make_experiment(
+    experiment_id: str,
+    scale: float = 0.1,
+    repeats: int = 3,
+    seed: int = 1,
+    base_params: SimulationParameters | None = None,
+) -> Experiment:
+    """Instantiate the experiment registered under ``experiment_id``."""
+    try:
+        experiment_cls = EXPERIMENTS[experiment_id]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from exc
+    return experiment_cls(
+        scale=scale, repeats=repeats, seed=seed, base_params=base_params
+    )
+
+
+def run_all(
+    scale: float = 0.1,
+    repeats: int = 3,
+    seed: int = 1,
+    only: list[str] | None = None,
+    store: ResultStore | None = None,
+    progress: Callable[[str], None] | None = None,
+    base_params: SimulationParameters | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run the selected experiments (all by default) and validate each.
+
+    Figure 5 reuses Figure 4's simulation runs when both are requested, since
+    they share the exact same sweep.
+    """
+    selected = list(EXPERIMENTS) if only is None else list(only)
+    results: dict[str, ExperimentResult] = {}
+    figure4_instance: Figure4LentAmount | None = None
+    for experiment_id in selected:
+        experiment = make_experiment(
+            experiment_id, scale=scale, repeats=repeats, seed=seed, base_params=base_params
+        )
+        if isinstance(experiment, Figure4LentAmount):
+            figure4_instance = experiment
+        if isinstance(experiment, Figure5LentProportion) and figure4_instance is not None:
+            experiment.shared_sweep = figure4_instance.sweep_result
+        if progress is not None:
+            progress(f"running {experiment_id} ...")
+        result = experiment.run_and_validate(progress=progress)
+        results[experiment_id] = result
+        if store is not None:
+            store.save_json(experiment_id, result.to_dict())
+    return results
+
+
+def render_report(results: Mapping[str, ExperimentResult]) -> str:
+    """Render a Markdown report of every result and its shape checks."""
+    lines = ["# Reproduction report", ""]
+    summary_rows = []
+    for experiment_id, result in results.items():
+        passed = sum(1 for check in result.checks if check.passed)
+        total = len(result.checks)
+        summary_rows.append(
+            [experiment_id, result.title, f"{passed}/{total}" if total else "n/a"]
+        )
+    lines.append(format_markdown_table(["id", "experiment", "checks passed"], summary_rows))
+    lines.append("")
+    for experiment_id, result in results.items():
+        lines.append(f"## {experiment_id} — {result.title}")
+        lines.append("")
+        if result.notes:
+            for note in result.notes:
+                lines.append(f"*{note}*")
+            lines.append("")
+        if result.scalars:
+            lines.append(
+                format_markdown_table(
+                    ["quantity", "value"],
+                    [[name, value] for name, value in result.scalars.items()],
+                )
+            )
+            lines.append("")
+        if result.series:
+            lines.append(
+                format_markdown_table(result.table_headers(), result.table_rows())
+            )
+            lines.append("")
+        if result.checks:
+            lines.append(
+                format_markdown_table(
+                    ["shape check", "status", "detail"],
+                    [
+                        [check.name, "PASS" if check.passed else "FAIL", check.detail]
+                        for check in result.checks
+                    ],
+                )
+            )
+            lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point (``python -m repro.experiments.runner``)."""
+    parser = argparse.ArgumentParser(description="Reproduce the paper's experiments")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="fraction of the paper's 500k-transaction horizon")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="independent repetitions per sweep point")
+    parser.add_argument("--seed", type=int, default=1, help="master seed")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="subset of experiment ids to run")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory for JSON results and the Markdown report")
+    args = parser.parse_args(argv)
+
+    store = ResultStore(args.out) if args.out is not None else None
+    results = run_all(
+        scale=args.scale,
+        repeats=args.repeats,
+        seed=args.seed,
+        only=args.only,
+        store=store,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
+    report = render_report(results)
+    print(report)
+    if store is not None:
+        report_path = store.root / "report.md"
+        report_path.write_text(report, encoding="utf-8")
+        print(f"(report written to {report_path})", file=sys.stderr)
+    failures = sum(
+        1
+        for result in results.values()
+        for check in result.checks
+        if not check.passed
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""§4.1 — the decision success rate with and without introductions.
+
+The paper reports that the ROCQ serve/deny decision success rate is
+essentially unchanged by the introduction requirement (about 96 % in both
+configurations), concluding that "the introducer requirement is compatible
+with the ROCQ reputation management scheme".  We run the same comparison:
+the lending bootstrap against open admission, everything else identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..analysis.comparison import ShapeCheck
+from ..config import BootstrapMode
+from ..workloads.sweep import ParameterSweep, SweepPoint
+from .base import Experiment, ExperimentResult
+
+__all__ = ["SuccessRateExperiment"]
+
+_LABELS = {
+    BootstrapMode.LENDING: "introductions required (lending)",
+    BootstrapMode.OPEN: "no introductions (open admission)",
+}
+
+
+class SuccessRateExperiment(Experiment):
+    """Reproduce the success-rate comparison of §4.1."""
+
+    experiment_id = "success"
+    title = "Decision success rate with vs without the introduction requirement"
+    x_label = "configuration"
+    y_label = "success rate"
+
+    def run(self, progress: Callable[[str], None] | None = None) -> ExperimentResult:
+        result = self._new_result()
+        sweep = ParameterSweep(
+            name=self.experiment_id,
+            base=self.base_params,
+            points=[
+                SweepPoint(
+                    label=mode.value, x=float(index), overrides={"bootstrap_mode": mode}
+                )
+                for index, mode in enumerate(_LABELS)
+            ],
+            repeats=self.repeats,
+            scale=self.scale,
+        )
+        outcome = sweep.run(progress=progress)
+        for index, (mode, label) in enumerate(_LABELS.items()):
+            rate, std = outcome.mean_metric(mode.value, lambda s: s.success_rate)
+            result.scalars[f"success rate — {label}"] = rate
+            result.scalars[f"success rate std — {label}"] = std
+            result.series.setdefault("success rate", []).append((float(index), rate))
+            denied, _ = outcome.mean_metric(
+                mode.value, lambda s: float(s.transactions_denied)
+            )
+            served, _ = outcome.mean_metric(
+                mode.value, lambda s: float(s.transactions_served)
+            )
+            result.scalars[f"transactions served — {label}"] = served
+            result.scalars[f"transactions denied — {label}"] = denied
+        return result
+
+    def checks(self) -> Sequence[ShapeCheck]:
+        def both_high(result: ExperimentResult) -> tuple[bool, str]:
+            rates = [
+                result.scalars[f"success rate — {label}"] for label in _LABELS.values()
+            ]
+            passed = all(rate > 0.80 for rate in rates)
+            return passed, f"success rates: {[round(r, 4) for r in rates]}"
+
+        def nearly_identical(result: ExperimentResult) -> tuple[bool, str]:
+            lending = result.scalars[
+                f"success rate — {_LABELS[BootstrapMode.LENDING]}"
+            ]
+            open_rate = result.scalars[f"success rate — {_LABELS[BootstrapMode.OPEN]}"]
+            gap = abs(lending - open_rate)
+            return gap <= 0.10, (
+                f"gap between configurations is {gap:.4f} "
+                f"(lending={lending:.4f}, open={open_rate:.4f})"
+            )
+
+        return [
+            ShapeCheck(
+                name="success rate is high in both configurations",
+                predicate=both_high,
+                paper_claim="'the success rate was ~96% whereas when introductions "
+                "were required the success rate was ~96%'",
+            ),
+            ShapeCheck(
+                name="introduction requirement does not change the success rate much",
+                predicate=nearly_identical,
+                paper_claim="'Adding the requirement that new entrants be introduced "
+                "does not change the success rate of ROCQ by a significant amount'",
+            ),
+        ]

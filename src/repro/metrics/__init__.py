@@ -1,0 +1,20 @@
+"""Measurement: counters, time series and per-run summaries.
+
+Everything the paper's evaluation section reports is derived from the
+quantities collected here: admitted cooperative/uncooperative peer counts
+(Figures 1, 3, 4, 6), refusal reasons (Figures 4 and 6), the decision success
+rate (§4.1), and the time series of average cooperative reputation
+(Figure 2).
+"""
+
+from .collector import MetricsCollector
+from .timeseries import TimeSeries
+from .success_rate import SuccessRateTracker
+from .summary import RunSummary
+
+__all__ = [
+    "MetricsCollector",
+    "TimeSeries",
+    "SuccessRateTracker",
+    "RunSummary",
+]

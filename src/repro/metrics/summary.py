@@ -1,0 +1,171 @@
+"""Per-run summary: the numbers the paper's figures are built from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..config import SimulationParameters
+from ..core.introduction import RefusalReason
+from ..core.lending import LendingStats
+from .collector import MetricsCollector
+from .timeseries import TimeSeries
+
+__all__ = ["RunSummary"]
+
+
+@dataclass
+class RunSummary:
+    """Everything a figure/table needs to know about one simulation run.
+
+    Instances are cheap, picklable value objects: the experiment harness runs
+    several repeats, collects their summaries, and averages across them.
+    """
+
+    params: SimulationParameters
+    seed: int
+    # Final community composition --------------------------------------------
+    final_cooperative: int
+    final_uncooperative: int
+    final_waiting: int
+    final_rejected: int
+    # Admission flow -----------------------------------------------------------
+    arrivals_cooperative: int
+    arrivals_uncooperative: int
+    admitted_cooperative: int
+    admitted_uncooperative: int
+    refusals: dict[str, int]
+    refused_due_to_introducer_reputation: int
+    refused_uncooperative_by_selective: int
+    # Transactions --------------------------------------------------------------
+    transactions_attempted: int
+    transactions_served: int
+    transactions_denied: int
+    success_rate: float
+    # Lending -------------------------------------------------------------------
+    introductions_granted: int
+    audits_passed: int
+    audits_failed: int
+    total_reputation_lent: float
+    total_rewards_paid: float
+    total_stakes_lost: float
+    # Time series ----------------------------------------------------------------
+    cooperative_reputation: TimeSeries = field(default_factory=TimeSeries)
+    uncooperative_reputation: TimeSeries = field(default_factory=TimeSeries)
+    cooperative_count: TimeSeries = field(default_factory=TimeSeries)
+    uncooperative_count: TimeSeries = field(default_factory=TimeSeries)
+    # Wall-clock duration of the run in seconds (informational).
+    elapsed_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities                                                    #
+    # ------------------------------------------------------------------ #
+    @property
+    def final_total(self) -> int:
+        """Total admitted peers alive at the end of the run."""
+        return self.final_cooperative + self.final_uncooperative
+
+    @property
+    def final_uncooperative_fraction(self) -> float:
+        """Fraction of the final community that is uncooperative."""
+        total = self.final_total
+        if total == 0:
+            return float("nan")
+        return self.final_uncooperative / total
+
+    @property
+    def mean_cooperative_reputation(self) -> float:
+        """Time-averaged reputation of cooperative peers."""
+        return self.cooperative_reputation.mean()
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                          #
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_run(
+        cls,
+        params: SimulationParameters,
+        seed: int,
+        collector: MetricsCollector,
+        lending_stats: LendingStats,
+        final_cooperative: int,
+        final_uncooperative: int,
+        final_waiting: int,
+        final_rejected: int,
+        elapsed_seconds: float = 0.0,
+    ) -> "RunSummary":
+        """Assemble a summary from the engine's end-of-run state."""
+        return cls(
+            params=params,
+            seed=seed,
+            final_cooperative=final_cooperative,
+            final_uncooperative=final_uncooperative,
+            final_waiting=final_waiting,
+            final_rejected=final_rejected,
+            arrivals_cooperative=collector.arrivals_cooperative,
+            arrivals_uncooperative=collector.arrivals_uncooperative,
+            admitted_cooperative=collector.admitted_cooperative,
+            admitted_uncooperative=collector.admitted_uncooperative,
+            refusals={r.value: c for r, c in collector.refusals.items()},
+            refused_due_to_introducer_reputation=collector.refusal_count(
+                RefusalReason.INSUFFICIENT_REPUTATION
+            ),
+            refused_uncooperative_by_selective=collector.refusal_count(
+                RefusalReason.SELECTIVE_REFUSAL, cooperative=False
+            ),
+            transactions_attempted=collector.transactions_attempted,
+            transactions_served=collector.transactions_served,
+            transactions_denied=collector.transactions_denied,
+            success_rate=collector.decisions.success_rate,
+            introductions_granted=lending_stats.introductions_granted,
+            audits_passed=lending_stats.audits_passed,
+            audits_failed=lending_stats.audits_failed,
+            total_reputation_lent=lending_stats.total_reputation_lent,
+            total_rewards_paid=lending_stats.total_rewards_paid,
+            total_stakes_lost=lending_stats.total_stakes_lost,
+            cooperative_reputation=collector.cooperative_reputation,
+            uncooperative_reputation=collector.uncooperative_reputation,
+            cooperative_count=collector.cooperative_count,
+            uncooperative_count=collector.uncooperative_count,
+            elapsed_seconds=elapsed_seconds,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialisation                                                         #
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation (used by analysis.storage)."""
+        return {
+            "params": self.params.to_dict(),
+            "seed": self.seed,
+            "final_cooperative": self.final_cooperative,
+            "final_uncooperative": self.final_uncooperative,
+            "final_waiting": self.final_waiting,
+            "final_rejected": self.final_rejected,
+            "arrivals_cooperative": self.arrivals_cooperative,
+            "arrivals_uncooperative": self.arrivals_uncooperative,
+            "admitted_cooperative": self.admitted_cooperative,
+            "admitted_uncooperative": self.admitted_uncooperative,
+            "refusals": dict(self.refusals),
+            "refused_due_to_introducer_reputation": (
+                self.refused_due_to_introducer_reputation
+            ),
+            "refused_uncooperative_by_selective": (
+                self.refused_uncooperative_by_selective
+            ),
+            "transactions_attempted": self.transactions_attempted,
+            "transactions_served": self.transactions_served,
+            "transactions_denied": self.transactions_denied,
+            "success_rate": self.success_rate,
+            "introductions_granted": self.introductions_granted,
+            "audits_passed": self.audits_passed,
+            "audits_failed": self.audits_failed,
+            "total_reputation_lent": self.total_reputation_lent,
+            "total_rewards_paid": self.total_rewards_paid,
+            "total_stakes_lost": self.total_stakes_lost,
+            "cooperative_reputation": self.cooperative_reputation.to_dict(),
+            "uncooperative_reputation": self.uncooperative_reputation.to_dict(),
+            "cooperative_count": self.cooperative_count.to_dict(),
+            "uncooperative_count": self.uncooperative_count.to_dict(),
+            "elapsed_seconds": self.elapsed_seconds,
+        }

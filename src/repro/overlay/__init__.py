@@ -1,0 +1,30 @@
+"""Structured overlay (DHT) substrate.
+
+The paper assumes "the existence of a structured overlay that uses
+distributed hash tables for routing and for selecting score managers that
+keep track of all feedback pertaining to a peer" (§2).  This package provides
+that substrate: a Chord-style ring of overlay nodes with consistent hashing,
+iterative key lookup, per-peer score-manager assignment with ``numSM``
+independent replicas, and churn handling that re-assigns responsibilities
+when nodes join or leave.
+"""
+
+from .hashing import ring_distance, in_interval
+from .node import OverlayNode
+from .ring import ChordRing
+from .routing import RoutingResult, lookup
+from .assignment import ScoreManagerAssignment
+from .churn import ChurnManager, ChurnEvent, ChurnKind
+
+__all__ = [
+    "ring_distance",
+    "in_interval",
+    "OverlayNode",
+    "ChordRing",
+    "RoutingResult",
+    "lookup",
+    "ScoreManagerAssignment",
+    "ChurnManager",
+    "ChurnEvent",
+    "ChurnKind",
+]

@@ -1,0 +1,79 @@
+"""Score-manager assignment.
+
+ROCQ stores every peer's reputation at ``numSM`` *score managers*: the overlay
+nodes responsible for ``numSM`` independent hashes of the peer's identifier.
+Replication matters for two reasons the paper calls out explicitly:
+
+* redundancy when a score manager crashes or leaves before forwarding an
+  introduction message (§2, "Multiple introduction requests"), and
+* robustness of DHT-based routing under churn — "by using multiple score
+  managers this impact is significantly reduced" (§3).
+
+:class:`ScoreManagerAssignment` resolves the current managers for a peer and
+tracks how responsibility moves when the ring changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ids import PeerId, replica_key
+from .ring import ChordRing
+
+__all__ = ["ScoreManagerAssignment"]
+
+
+@dataclass
+class ScoreManagerAssignment:
+    """Maps peers to their current set of score-manager peers."""
+
+    ring: ChordRing
+    num_score_managers: int
+    #: Exclude a peer from managing its own reputation (the realistic choice;
+    #: can be disabled for tiny test rings where exclusion is impossible).
+    exclude_self: bool = True
+    _reassignments: int = field(default=0, repr=False)
+
+    def managers_for(self, peer_id: PeerId) -> list[PeerId]:
+        """Return the peers currently responsible for ``peer_id``'s reputation.
+
+        The list preserves replica order (replica ``i`` maps to element ``i``)
+        and may contain fewer than ``num_score_managers`` *distinct* peers on
+        very small rings; duplicates are removed while keeping order so the
+        caller always sees each manager once.
+        """
+        if len(self.ring) == 0:
+            return []
+        managers: list[PeerId] = []
+        seen: set[PeerId] = set()
+        # At most one candidate (the subject itself) can be skipped, so two
+        # successors per replica key are always enough to pick a manager.
+        candidates_needed = 2 if self.exclude_self else 1
+        for replica_index in range(self.num_score_managers):
+            key = replica_key(peer_id, replica_index)
+            candidates = self.ring.successors_of(key, candidates_needed)
+            chosen: PeerId | None = None
+            for node in candidates:
+                if self.exclude_self and node.peer_id == peer_id and len(self.ring) > 1:
+                    continue
+                chosen = node.peer_id
+                break
+            if chosen is None:
+                chosen = candidates[0].peer_id if candidates else peer_id
+            if chosen not in seen:
+                managers.append(chosen)
+                seen.add(chosen)
+        return managers
+
+    def managed_by(self, manager_id: PeerId, peers: list[PeerId]) -> list[PeerId]:
+        """Return the subset of ``peers`` whose reputation ``manager_id`` manages."""
+        return [p for p in peers if manager_id in self.managers_for(p)]
+
+    def note_reassignment(self) -> None:
+        """Record that churn forced a responsibility transfer (metrics hook)."""
+        self._reassignments += 1
+
+    @property
+    def reassignments(self) -> int:
+        """Number of responsibility transfers observed so far."""
+        return self._reassignments

@@ -1,0 +1,146 @@
+"""Churn handling: joins and leaves with score-manager state migration.
+
+When a node joins, part of its successor's key range becomes its own and the
+reputation records stored for those keys must be handed over.  When a node
+leaves (or crashes), its records must be recoverable from the remaining
+replicas.  :class:`ChurnManager` performs these transfers against an abstract
+``ReputationStore`` interface (any object exposing ``records_for(peer_id)``
+and ``install_record(manager_id, peer_id, record)``), so the overlay layer
+stays independent from ROCQ internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Protocol
+
+from ..ids import PeerId
+from .assignment import ScoreManagerAssignment
+from .ring import ChordRing
+
+__all__ = ["ChurnKind", "ChurnEvent", "ChurnManager", "ReputationStoreProtocol"]
+
+
+class ChurnKind(str, Enum):
+    """Type of membership change."""
+
+    JOIN = "join"
+    LEAVE = "leave"
+    CRASH = "crash"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """Record of one membership change and the migrations it caused."""
+
+    kind: ChurnKind
+    peer_id: PeerId
+    time: float
+    migrated_records: int = 0
+
+
+class ReputationStoreProtocol(Protocol):
+    """Minimal store interface the churn manager migrates records through."""
+
+    def tracked_peers(self, manager_id: PeerId) -> Iterable[PeerId]:
+        """Peers whose reputation ``manager_id`` currently stores."""
+
+    def export_record(self, manager_id: PeerId, subject_id: PeerId) -> object | None:
+        """Return the stored record (opaque to the overlay), or ``None``."""
+
+    def install_record(
+        self, manager_id: PeerId, subject_id: PeerId, record: object
+    ) -> None:
+        """Install a migrated record at a new manager."""
+
+    def drop_manager(self, manager_id: PeerId) -> None:
+        """Forget all records held by a departed manager."""
+
+
+@dataclass
+class ChurnManager:
+    """Applies joins/leaves to the ring and migrates reputation records."""
+
+    ring: ChordRing
+    assignment: ScoreManagerAssignment
+    store: ReputationStoreProtocol | None = None
+    history: list[ChurnEvent] = field(default_factory=list)
+
+    def join(self, peer_id: PeerId, time: float = 0.0) -> ChurnEvent:
+        """Add ``peer_id`` to the overlay and pull the records it now manages."""
+        tracked_before = self._snapshot_assignments()
+        self.ring.join(peer_id)
+        migrated = self._migrate(tracked_before)
+        event = ChurnEvent(
+            kind=ChurnKind.JOIN, peer_id=peer_id, time=time, migrated_records=migrated
+        )
+        self.history.append(event)
+        return event
+
+    def leave(
+        self, peer_id: PeerId, time: float = 0.0, crashed: bool = False
+    ) -> ChurnEvent:
+        """Remove ``peer_id`` from the overlay, re-homing the records it held."""
+        tracked_before = self._snapshot_assignments()
+        self.ring.leave(peer_id)
+        if self.store is not None:
+            self.store.drop_manager(peer_id)
+        migrated = self._migrate(tracked_before, departed=peer_id)
+        event = ChurnEvent(
+            kind=ChurnKind.CRASH if crashed else ChurnKind.LEAVE,
+            peer_id=peer_id,
+            time=time,
+            migrated_records=migrated,
+        )
+        self.history.append(event)
+        return event
+
+    # ------------------------------------------------------------------ #
+    # Internal                                                             #
+    # ------------------------------------------------------------------ #
+    def _snapshot_assignments(self) -> dict[PeerId, list[PeerId]]:
+        """Capture the manager set of every live peer before the change."""
+        return {
+            peer_id: self.assignment.managers_for(peer_id)
+            for peer_id in self.ring.peers()
+        }
+
+    def _migrate(
+        self,
+        before: dict[PeerId, list[PeerId]],
+        departed: PeerId | None = None,
+    ) -> int:
+        """Copy records to managers that gained responsibility; count copies."""
+        if self.store is None:
+            # Still count logical reassignments so overhead metrics exist.
+            migrated = 0
+            for subject, old_managers in before.items():
+                if subject not in self.ring and subject != departed:
+                    continue
+                new_managers = self.assignment.managers_for(subject)
+                gained = set(new_managers) - set(old_managers)
+                if gained:
+                    self.assignment.note_reassignment()
+                    migrated += len(gained)
+            return migrated
+
+        migrated = 0
+        for subject, old_managers in before.items():
+            new_managers = self.assignment.managers_for(subject)
+            gained = set(new_managers) - set(old_managers)
+            if not gained:
+                continue
+            self.assignment.note_reassignment()
+            surviving_sources = [m for m in old_managers if m != departed]
+            record = None
+            for source in surviving_sources:
+                record = self.store.export_record(source, subject)
+                if record is not None:
+                    break
+            if record is None:
+                continue
+            for manager in gained:
+                self.store.install_record(manager, subject, record)
+                migrated += 1
+        return migrated

@@ -1,0 +1,40 @@
+"""Consistent-hashing arithmetic on the circular identifier space."""
+
+from __future__ import annotations
+
+from ..ids import KEY_SPACE_SIZE
+
+__all__ = ["ring_distance", "in_interval", "clockwise_distance"]
+
+
+def ring_distance(a: int, b: int) -> int:
+    """Shortest distance between two keys on the identifier circle."""
+    a %= KEY_SPACE_SIZE
+    b %= KEY_SPACE_SIZE
+    direct = abs(a - b)
+    return min(direct, KEY_SPACE_SIZE - direct)
+
+
+def clockwise_distance(a: int, b: int) -> int:
+    """Distance travelled going clockwise (increasing keys) from ``a`` to ``b``."""
+    return (b - a) % KEY_SPACE_SIZE
+
+
+def in_interval(key: int, left: int, right: int, inclusive_right: bool = True) -> bool:
+    """Return True if ``key`` lies in the clockwise interval ``(left, right]``.
+
+    The interval wraps around zero when ``left >= right``.  With
+    ``inclusive_right=False`` the interval is open on both sides, which is the
+    form Chord's finger-table maintenance uses.
+    """
+    key %= KEY_SPACE_SIZE
+    left %= KEY_SPACE_SIZE
+    right %= KEY_SPACE_SIZE
+    if left == right:
+        # The interval spans the entire ring (except possibly the endpoint).
+        return inclusive_right or key != right
+    if left < right:
+        upper_ok = key <= right if inclusive_right else key < right
+        return left < key and upper_ok
+    upper_ok = key <= right if inclusive_right else key < right
+    return key > left or upper_ok

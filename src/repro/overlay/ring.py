@@ -1,0 +1,142 @@
+"""The Chord-style ring: node membership, successor lookup, finger tables.
+
+The ring is maintained centrally (a sorted list of keys) because the paper's
+simulator assumes instantaneous, loss-free message delivery; what matters for
+the experiments is *which* node is responsible for *which* key, and how that
+responsibility moves under churn.  Lookup nevertheless follows the Chord
+finger-table walk so routing path lengths remain realistic (O(log N) hops) and
+can be measured.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import dataclass, field
+
+from ..errors import UnknownPeerError
+from ..ids import KEY_SPACE_BITS, PeerId, peer_key
+from .hashing import in_interval
+from .node import OverlayNode
+
+__all__ = ["ChordRing"]
+
+
+@dataclass
+class ChordRing:
+    """In-memory Chord ring holding one :class:`OverlayNode` per live peer."""
+
+    _nodes_by_key: dict[int, OverlayNode] = field(default_factory=dict)
+    _nodes_by_peer: dict[PeerId, OverlayNode] = field(default_factory=dict)
+    _sorted_keys: list[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Membership                                                           #
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._sorted_keys)
+
+    def __contains__(self, peer_id: PeerId) -> bool:
+        return peer_id in self._nodes_by_peer
+
+    def peers(self) -> list[PeerId]:
+        """Return the peer ids of all live overlay nodes (unordered)."""
+        return list(self._nodes_by_peer)
+
+    def node_for_peer(self, peer_id: PeerId) -> OverlayNode:
+        """Return the overlay node owned by ``peer_id``."""
+        try:
+            return self._nodes_by_peer[peer_id]
+        except KeyError as exc:
+            raise UnknownPeerError(peer_id) from exc
+
+    def join(self, peer_id: PeerId) -> OverlayNode:
+        """Add ``peer_id``'s node to the ring and wire its neighbours."""
+        if peer_id in self._nodes_by_peer:
+            return self._nodes_by_peer[peer_id]
+        node = OverlayNode(peer_id=peer_id)
+        # Handle the (astronomically unlikely) key collision by linear probing.
+        while node.key in self._nodes_by_key:
+            node.key = (node.key + 1) % (1 << KEY_SPACE_BITS)
+        self._nodes_by_key[node.key] = node
+        self._nodes_by_peer[peer_id] = node
+        insort(self._sorted_keys, node.key)
+        self._rewire_neighbours()
+        return node
+
+    def leave(self, peer_id: PeerId) -> OverlayNode:
+        """Remove ``peer_id``'s node from the ring and return it."""
+        node = self.node_for_peer(peer_id)
+        del self._nodes_by_peer[peer_id]
+        del self._nodes_by_key[node.key]
+        index = bisect_left(self._sorted_keys, node.key)
+        if index < len(self._sorted_keys) and self._sorted_keys[index] == node.key:
+            self._sorted_keys.pop(index)
+        node.clear_routing_state()
+        self._rewire_neighbours()
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Responsibility                                                       #
+    # ------------------------------------------------------------------ #
+    def successor_of(self, key: int) -> OverlayNode:
+        """Return the node responsible for ``key`` (its clockwise successor)."""
+        if not self._sorted_keys:
+            raise UnknownPeerError(-1)
+        index = bisect_left(self._sorted_keys, key % (1 << KEY_SPACE_BITS))
+        if index == len(self._sorted_keys):
+            index = 0
+        return self._nodes_by_key[self._sorted_keys[index]]
+
+    def successors_of(self, key: int, count: int) -> list[OverlayNode]:
+        """Return up to ``count`` distinct nodes clockwise from ``key``."""
+        if not self._sorted_keys:
+            return []
+        count = min(count, len(self._sorted_keys))
+        start = bisect_left(self._sorted_keys, key % (1 << KEY_SPACE_BITS))
+        result = []
+        for offset in range(count):
+            ring_key = self._sorted_keys[(start + offset) % len(self._sorted_keys)]
+            result.append(self._nodes_by_key[ring_key])
+        return result
+
+    def responsible_peer(self, key: int) -> PeerId:
+        """Peer id of the node responsible for ``key``."""
+        return self.successor_of(key).peer_id
+
+    # ------------------------------------------------------------------ #
+    # Finger tables                                                        #
+    # ------------------------------------------------------------------ #
+    def build_fingers(self, peer_id: PeerId) -> None:
+        """(Re)build the full finger table of ``peer_id``'s node."""
+        node = self.node_for_peer(peer_id)
+        node.fingers = [
+            self.successor_of(node.finger_start(i)).key for i in range(KEY_SPACE_BITS)
+        ]
+
+    def closest_preceding_key(self, from_key: int, target: int) -> int | None:
+        """Finger-table step: the known key closest to (but before) ``target``.
+
+        Returns ``None`` when no finger precedes the target, in which case the
+        lookup falls through to the successor pointer.
+        """
+        node = self._nodes_by_key.get(from_key)
+        if node is None or not node.fingers:
+            return None
+        for finger_key in reversed(node.fingers):
+            if finger_key in self._nodes_by_key and in_interval(
+                finger_key, from_key, target, inclusive_right=False
+            ):
+                return finger_key
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Internal                                                             #
+    # ------------------------------------------------------------------ #
+    def _rewire_neighbours(self) -> None:
+        """Refresh successor/predecessor pointers after a membership change."""
+        keys = self._sorted_keys
+        total = len(keys)
+        for index, key in enumerate(keys):
+            node = self._nodes_by_key[key]
+            node.successor = keys[(index + 1) % total]
+            node.predecessor = keys[(index - 1) % total]

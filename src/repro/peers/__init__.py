@@ -1,0 +1,35 @@
+"""Peer behaviour models and the community population registry.
+
+The paper's attack model (§2) restricts misbehaviour to (1) freeriding and
+(2) furnishing incorrect or corrupted content; this package models both,
+plus two behaviours from the paper's discussion of attacks on the lending
+scheme itself: *colluders* (behave well, then introduce their accomplices)
+and *whitewashers* (discard a tainted identity and re-enter as a new peer).
+"""
+
+from .behavior import (
+    BehaviorKind,
+    BehaviorModel,
+    CooperativeBehavior,
+    FreeriderBehavior,
+    MaliciousProviderBehavior,
+    ColluderBehavior,
+    WhitewasherBehavior,
+    make_behavior,
+)
+from .peer import Peer, PeerStatus
+from .population import Population
+
+__all__ = [
+    "BehaviorKind",
+    "BehaviorModel",
+    "CooperativeBehavior",
+    "FreeriderBehavior",
+    "MaliciousProviderBehavior",
+    "ColluderBehavior",
+    "WhitewasherBehavior",
+    "make_behavior",
+    "Peer",
+    "PeerStatus",
+    "Population",
+]

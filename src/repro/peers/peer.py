@@ -1,0 +1,134 @@
+"""The :class:`Peer` entity: identity, behaviour, introducer policy, state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from ..ids import PeerId
+from ..rocq.opinion import OpinionBook
+from .behavior import BehaviorModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.policies import IntroducerPolicy
+
+__all__ = ["PeerStatus", "Peer"]
+
+
+class PeerStatus(str, Enum):
+    """Membership status of a peer.
+
+    ``WAITING`` — arrived but not yet admitted (looking for an introduction,
+    or sitting out the waiting period).
+    ``ACTIVE`` — admitted member of the community.
+    ``REJECTED`` — refused entry and no longer trying (terminal).
+    ``DEPARTED`` — left the community (terminal).
+    """
+
+    WAITING = "waiting"
+    ACTIVE = "active"
+    REJECTED = "rejected"
+    DEPARTED = "departed"
+
+
+@dataclass
+class Peer:
+    """One participant of the virtual community.
+
+    Attributes
+    ----------
+    peer_id:
+        Simulator-level identifier.
+    behavior:
+        Ground-truth behaviour strategy (service quality, reporting honesty).
+    introducer_policy:
+        How this peer answers introduction requests (naive / selective /
+        refusing); ``None`` for peers that never act as introducers.
+    status:
+        Current membership status.
+    is_founder:
+        True for the ``numInit`` peers present at time zero.
+    arrived_at / admitted_at:
+        Simulation times of arrival and of admission (``None`` until then).
+    introduced_by:
+        Peer id of the introducer, when admitted through the lending scheme.
+    transactions_completed:
+        Transactions in which this peer acted as the respondent *after*
+        admission; drives the ``auditTrans`` audit trigger.
+    requests_made / requests_served:
+        Activity counters used by metrics.
+    next_request_allowed_at:
+        Earliest time this peer may issue another introduction request
+        (enforces the waiting period between requests).
+    """
+
+    peer_id: PeerId
+    behavior: BehaviorModel
+    introducer_policy: "IntroducerPolicy | None" = None
+    status: PeerStatus = PeerStatus.WAITING
+    is_founder: bool = False
+    arrived_at: float = 0.0
+    admitted_at: float | None = None
+    introduced_by: PeerId | None = None
+    transactions_completed: int = 0
+    requests_made: int = 0
+    requests_served: int = 0
+    requests_denied: int = 0
+    audited: bool = False
+    next_request_allowed_at: float = 0.0
+    opinions: OpinionBook = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.opinions = OpinionBook(owner=self.peer_id)
+
+    # ------------------------------------------------------------------ #
+    # Convenience predicates                                               #
+    # ------------------------------------------------------------------ #
+    @property
+    def is_cooperative(self) -> bool:
+        """Ground-truth cooperativeness (from the behaviour model)."""
+        return self.behavior.is_cooperative
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the peer is an admitted member of the community."""
+        return self.status == PeerStatus.ACTIVE
+
+    @property
+    def is_waiting(self) -> bool:
+        """Whether the peer is still trying to get admitted."""
+        return self.status == PeerStatus.WAITING
+
+    @property
+    def can_introduce(self) -> bool:
+        """Whether the peer has a policy that could grant introductions."""
+        return self.introducer_policy is not None and self.is_active
+
+    # ------------------------------------------------------------------ #
+    # State transitions                                                    #
+    # ------------------------------------------------------------------ #
+    def admit(self, time: float, introduced_by: PeerId | None = None) -> None:
+        """Mark the peer as an active member of the community."""
+        self.status = PeerStatus.ACTIVE
+        self.admitted_at = time
+        self.introduced_by = introduced_by
+
+    def reject(self) -> None:
+        """Mark the peer as permanently refused entry."""
+        self.status = PeerStatus.REJECTED
+
+    def depart(self) -> None:
+        """Mark the peer as having left the community."""
+        self.status = PeerStatus.DEPARTED
+
+    def note_transaction_served(self, satisfied: bool) -> None:
+        """Record that this peer served one request (post-admission)."""
+        self.transactions_completed += 1
+        self.requests_served += 1 if satisfied else 0
+
+    def __repr__(self) -> str:  # compact, log-friendly representation
+        return (
+            f"Peer(id={self.peer_id}, {self.behavior.kind.value}, "
+            f"{self.status.value}, founder={self.is_founder})"
+        )

@@ -1,0 +1,36 @@
+"""Baseline reputation systems from the paper's related-work discussion.
+
+The paper positions reputation lending against three families of systems
+(§1, §5): complaints-based trust (only negative feedback, newcomers trusted
+by default), positive-only feedback (newcomers start at the bottom), and
+schemes counting both (newcomers start in the middle), plus credit/barter
+mechanisms such as BitTorrent's tit-for-tat and EigenTrust's global trust
+vector.  This package implements those baselines behind a single
+:class:`~repro.reputation.base.ReputationSystem` interface so the newcomer
+bootstrap problem can be studied side by side with the lending mechanism
+(see :mod:`repro.reputation.comparison`).
+
+These systems operate on explicit interaction logs and are intentionally
+decoupled from the simulator's ROCQ/score-manager machinery: they are
+analytical comparators, not drop-in replacements for the DHT-backed store.
+"""
+
+from .base import InteractionLog, ReputationSystem
+from .eigentrust import EigenTrust
+from .complaints import ComplaintsBasedTrust
+from .positive_only import PositiveOnlyReputation
+from .beta import BetaReputation
+from .tit_for_tat import TitForTatCredit
+from .comparison import NewcomerReport, compare_newcomer_treatment
+
+__all__ = [
+    "InteractionLog",
+    "ReputationSystem",
+    "EigenTrust",
+    "ComplaintsBasedTrust",
+    "PositiveOnlyReputation",
+    "BetaReputation",
+    "TitForTatCredit",
+    "NewcomerReport",
+    "compare_newcomer_treatment",
+]

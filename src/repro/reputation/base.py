@@ -1,0 +1,88 @@
+"""Common interface for the baseline reputation systems."""
+
+from __future__ import annotations
+
+import abc
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..ids import PeerId
+
+__all__ = ["InteractionLog", "ReputationSystem"]
+
+
+@dataclass
+class InteractionLog:
+    """A raw log of rated interactions, shared by all baseline systems.
+
+    Each entry is "``rater`` interacted with ``subject`` and was (or was not)
+    satisfied".  The log keeps pairwise satisfaction counters, which is all
+    the baseline systems need.
+    """
+
+    positive: dict[tuple[PeerId, PeerId], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    negative: dict[tuple[PeerId, PeerId], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    peers: set[PeerId] = field(default_factory=set)
+
+    def record(self, rater: PeerId, subject: PeerId, satisfied: bool) -> None:
+        """Add one rated interaction to the log."""
+        self.peers.add(rater)
+        self.peers.add(subject)
+        key = (rater, subject)
+        if satisfied:
+            self.positive[key] += 1
+        else:
+            self.negative[key] += 1
+
+    def positives_about(self, subject: PeerId) -> int:
+        """Total satisfied interactions reported about ``subject``."""
+        return sum(count for (_, s), count in self.positive.items() if s == subject)
+
+    def negatives_about(self, subject: PeerId) -> int:
+        """Total unsatisfied interactions reported about ``subject``."""
+        return sum(count for (_, s), count in self.negative.items() if s == subject)
+
+    def complaints_by(self, rater: PeerId) -> int:
+        """Complaints filed by ``rater`` (used by complaints-based trust)."""
+        return sum(count for (r, _), count in self.negative.items() if r == rater)
+
+    def pair_counts(self, rater: PeerId, subject: PeerId) -> tuple[int, int]:
+        """(positive, negative) counts for a specific rater/subject pair."""
+        return self.positive[(rater, subject)], self.negative[(rater, subject)]
+
+
+class ReputationSystem(abc.ABC):
+    """A reputation system consuming an interaction log.
+
+    Concrete systems differ in how they fold the log into a per-peer score in
+    ``[0, 1]`` and — crucially for the paper's problem statement — in the
+    score they assign to a peer nobody has interacted with yet.
+    """
+
+    #: Human-readable name used in comparison tables.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.log = InteractionLog()
+
+    def record_interaction(
+        self, rater: PeerId, subject: PeerId, satisfied: bool
+    ) -> None:
+        """Feed one rated interaction into the system."""
+        self.log.record(rater, subject, satisfied)
+
+    @abc.abstractmethod
+    def score(self, peer: PeerId) -> float:
+        """Current reputation of ``peer`` in ``[0, 1]``."""
+
+    def newcomer_score(self) -> float:
+        """Score of a peer that has never interacted (the bootstrap problem)."""
+        return self.score(-1)
+
+    def scores(self) -> dict[PeerId, float]:
+        """Scores of every peer seen in the log."""
+        return {peer: self.score(peer) for peer in sorted(self.log.peers)}

@@ -1,0 +1,99 @@
+"""EigenTrust (Kamvar, Schlosser, Garcia-Molina, WWW 2003).
+
+Each peer i normalises its local trust values ``c_ij`` (satisfactory minus
+unsatisfactory interactions, floored at zero) and the global trust vector is
+the stationary distribution of the resulting matrix, computed by power
+iteration with a damping factor towards a set of pre-trusted peers — exactly
+the PageRank-style construction of the original paper.
+
+Newcomers have no incoming local trust at all, so their global trust is the
+damping mass spread over the pre-trusted set (zero unless they are
+pre-trusted): EigenTrust is a "both feedback counts, newcomer near the
+bottom" system in the taxonomy of §1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ids import PeerId
+from .base import ReputationSystem
+
+__all__ = ["EigenTrust"]
+
+
+class EigenTrust(ReputationSystem):
+    """Global trust via power iteration over normalised local trust."""
+
+    name = "eigentrust"
+
+    def __init__(
+        self,
+        pre_trusted: set[PeerId] | None = None,
+        damping: float = 0.15,
+        max_iterations: int = 100,
+        tolerance: float = 1e-10,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= damping <= 1.0:
+            raise ValueError("damping must be within [0, 1]")
+        self.pre_trusted = set(pre_trusted) if pre_trusted else set()
+        self.damping = damping
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    # ------------------------------------------------------------------ #
+    # Trust computation                                                     #
+    # ------------------------------------------------------------------ #
+    def _local_trust_matrix(self, peers: list[PeerId]) -> np.ndarray:
+        """Row-normalised local trust matrix C with C[i][j] = c_ij."""
+        index = {peer: position for position, peer in enumerate(peers)}
+        matrix = np.zeros((len(peers), len(peers)))
+        for (rater, subject), positives in self.log.positive.items():
+            negatives = self.log.negative.get((rater, subject), 0)
+            matrix[index[rater], index[subject]] = max(positives - negatives, 0)
+        for (rater, subject), negatives in self.log.negative.items():
+            if (rater, subject) not in self.log.positive:
+                matrix[index[rater], index[subject]] = 0.0
+        row_sums = matrix.sum(axis=1, keepdims=True)
+        distribution = self._pretrust_distribution(peers)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            normalised = np.where(row_sums > 0, matrix / row_sums, distribution)
+        return normalised
+
+    def _pretrust_distribution(self, peers: list[PeerId]) -> np.ndarray:
+        """The pre-trust vector p (uniform over pre-trusted peers, or all)."""
+        trusted = [peer for peer in peers if peer in self.pre_trusted]
+        vector = np.zeros(len(peers))
+        if trusted:
+            for peer in trusted:
+                vector[peers.index(peer)] = 1.0 / len(trusted)
+        elif peers:
+            vector[:] = 1.0 / len(peers)
+        return vector
+
+    def global_trust(self) -> dict[PeerId, float]:
+        """The converged global trust vector for every peer in the log."""
+        peers = sorted(self.log.peers)
+        if not peers:
+            return {}
+        matrix = self._local_trust_matrix(peers)
+        pretrust = self._pretrust_distribution(peers)
+        trust = pretrust.copy()
+        for _ in range(self.max_iterations):
+            updated = (1.0 - self.damping) * matrix.T @ trust + self.damping * pretrust
+            if np.abs(updated - trust).sum() < self.tolerance:
+                trust = updated
+                break
+            trust = updated
+        return {peer: float(value) for peer, value in zip(peers, trust)}
+
+    def score(self, peer: PeerId) -> float:
+        """Global trust normalised by the maximum so scores live in [0, 1]."""
+        trust = self.global_trust()
+        if peer not in trust:
+            return 0.0
+        maximum = max(trust.values()) if trust else 0.0
+        if maximum <= 0.0:
+            return 0.0
+        return trust[peer] / maximum

@@ -1,0 +1,31 @@
+"""Positive-only reputation.
+
+Only satisfactory interactions earn credit; a newcomer starts at the very
+bottom, indistinguishable from a peer that has misbehaved forever.  This is
+the paper's second newcomer policy and the one that freezes new entrants out
+of the community — the problem reputation lending solves.
+"""
+
+from __future__ import annotations
+
+from ..ids import PeerId
+from .base import ReputationSystem
+
+__all__ = ["PositiveOnlyReputation"]
+
+
+class PositiveOnlyReputation(ReputationSystem):
+    """Score grows (saturating) with the number of positive reports."""
+
+    name = "positive_only"
+
+    def __init__(self, half_life: float = 10.0) -> None:
+        """``half_life`` positive reports put a peer halfway to a score of 1."""
+        super().__init__()
+        if half_life <= 0:
+            raise ValueError("half_life must be positive")
+        self.half_life = half_life
+
+    def score(self, peer: PeerId) -> float:
+        positives = self.log.positives_about(peer)
+        return positives / (positives + self.half_life)

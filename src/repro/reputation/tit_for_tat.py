@@ -1,0 +1,65 @@
+"""Pairwise tit-for-tat credit (the BitTorrent/Scrivener family).
+
+No global reputation at all: every pair of peers keeps a bilateral balance of
+favours.  A peer serves another only while the partner's debt stays within an
+allowance — BitTorrent's unchoking and Scrivener's credit limits are both
+instances.  Newcomers have a zero balance everywhere and depend entirely on
+the altruistic allowance (BitTorrent's optimistic unchoke slot), which is the
+"small amount of initial credit" the paper contrasts its mechanism with.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..ids import PeerId
+from .base import ReputationSystem
+
+__all__ = ["TitForTatCredit"]
+
+
+class TitForTatCredit(ReputationSystem):
+    """Bilateral favour balances with a fixed newcomer allowance."""
+
+    name = "tit_for_tat"
+
+    def __init__(self, allowance: float = 2.0) -> None:
+        """``allowance`` is how far into debt a partner may go and still be served."""
+        super().__init__()
+        if allowance < 0:
+            raise ValueError("allowance must be non-negative")
+        self.allowance = allowance
+        #: balance[(a, b)] > 0 means b owes a (a served b more than b served a).
+        self._balance: dict[tuple[PeerId, PeerId], float] = defaultdict(float)
+
+    def record_interaction(
+        self, rater: PeerId, subject: PeerId, satisfied: bool
+    ) -> None:
+        """A satisfied interaction means ``subject`` served ``rater`` well."""
+        super().record_interaction(rater, subject, satisfied)
+        if satisfied:
+            # subject provided a favour to rater: rater now owes subject.
+            self._balance[(subject, rater)] += 1.0
+            self._balance[(rater, subject)] -= 1.0
+
+    def balance(self, creditor: PeerId, debtor: PeerId) -> float:
+        """How much ``debtor`` owes ``creditor`` (negative when it is owed)."""
+        return self._balance[(creditor, debtor)]
+
+    def would_serve(self, server: PeerId, requester: PeerId) -> bool:
+        """BitTorrent-style decision: serve while the debt is within allowance."""
+        return self.balance(server, requester) <= self.allowance
+
+    def score(self, peer: PeerId) -> float:
+        """Fraction of peers in the log that would currently serve ``peer``.
+
+        Gives the bilateral scheme a comparable [0, 1] "service availability"
+        number: a well-behaved regular approaches 1, an over-drawn freerider
+        approaches 0, and a newcomer gets exactly the altruistic baseline
+        (everyone serves it because its balances are all zero).
+        """
+        others = [other for other in self.log.peers if other != peer]
+        if not others:
+            return 1.0
+        served_by = sum(1 for other in others if self.would_serve(other, peer))
+        return served_by / len(others)

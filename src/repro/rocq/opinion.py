@@ -1,0 +1,114 @@
+"""Local opinion formation.
+
+Every peer keeps a *local opinion* about each partner it has transacted with:
+an exponentially-smoothed satisfaction value together with a *quality* score
+expressing how much confidence the opinion deserves.  Quality grows with the
+number of underlying interactions and shrinks with their variability, which
+is how ROCQ lets score managers discount one-off or erratic reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..ids import PeerId
+
+__all__ = ["LocalOpinion", "OpinionBook"]
+
+
+@dataclass
+class LocalOpinion:
+    """Opinion one peer holds about another.
+
+    Attributes
+    ----------
+    value:
+        Smoothed satisfaction in ``[0, 1]``; 1 means every interaction was
+        satisfactory.
+    interactions:
+        Number of transactions that contributed to the opinion.
+    mean / m2:
+        Running mean and sum of squared deviations (Welford) of the raw
+        satisfaction samples, used to derive the variance term of quality.
+    """
+
+    value: float = 0.5
+    interactions: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def record(self, satisfaction: float, smoothing: float) -> None:
+        """Fold one raw satisfaction sample (0 or 1, or fractional) in."""
+        satisfaction = min(1.0, max(0.0, satisfaction))
+        if self.interactions == 0:
+            self.value = satisfaction
+        else:
+            self.value = (1.0 - smoothing) * self.value + smoothing * satisfaction
+        self.interactions += 1
+        delta = satisfaction - self.mean
+        self.mean += delta / self.interactions
+        self.m2 += delta * (satisfaction - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance of the raw satisfaction values."""
+        if self.interactions < 2:
+            return 0.0
+        return self.m2 / (self.interactions - 1)
+
+    @property
+    def quality(self) -> float:
+        """Confidence in the opinion, in ``[0, 1]``.
+
+        Follows ROCQ's intent: quality increases with the number of
+        interactions (saturating) and decreases with the variability of the
+        observed behaviour.  A single observation already carries moderate
+        confidence (0.5 of the asymptote) so fresh reports are not ignored.
+        """
+        if self.interactions == 0:
+            return 0.0
+        count_term = self.interactions / (self.interactions + 1.0)
+        # Variance of a Bernoulli variable is at most 0.25; normalise.
+        consistency_term = 1.0 - min(1.0, self.variance / 0.25)
+        return count_term * (0.5 + 0.5 * consistency_term)
+
+
+@dataclass
+class OpinionBook:
+    """All local opinions held by a single peer, keyed by subject."""
+
+    owner: PeerId
+    smoothing: float = 0.3
+    _opinions: dict[PeerId, LocalOpinion] = field(default_factory=dict)
+
+    def record_interaction(self, subject: PeerId, satisfaction: float) -> LocalOpinion:
+        """Record the outcome of one transaction with ``subject``."""
+        opinion = self._opinions.get(subject)
+        if opinion is None:
+            opinion = LocalOpinion()
+            self._opinions[subject] = opinion
+        opinion.record(satisfaction, self.smoothing)
+        return opinion
+
+    def opinion_about(self, subject: PeerId) -> LocalOpinion | None:
+        """Return the opinion about ``subject`` or ``None`` if never met."""
+        return self._opinions.get(subject)
+
+    def subjects(self) -> list[PeerId]:
+        """Peers this owner holds an opinion about."""
+        return list(self._opinions)
+
+    def __len__(self) -> int:
+        return len(self._opinions)
+
+
+def opinion_entropy(value: float) -> float:
+    """Binary entropy of an opinion value — an alternative quality penalty.
+
+    Exposed for the ablation benches: ROCQ variants sometimes use the entropy
+    of the opinion (uncertainty highest at 0.5) instead of sample variance to
+    derive quality.  Returns a value in ``[0, 1]``.
+    """
+    p = min(1.0 - 1e-12, max(1e-12, value))
+    return -(p * math.log2(p) + (1.0 - p) * math.log2(1.0 - p))

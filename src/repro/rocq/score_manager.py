@@ -1,0 +1,195 @@
+"""Per-manager reputation aggregation state.
+
+Each score manager maintains, for every subject it is responsible for, a
+:class:`ReputationRecord`: the current aggregated reputation plus bookkeeping
+about how many reports contributed to it.  Reports move the aggregate by an
+amount proportional to the reporter's credibility and the opinion's quality
+(the C and Q of ROCQ); direct adjustments (the lending protocol's debits,
+credits, rewards and sanctions) add to it, clamped to ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ids import PeerId
+from .credibility import CredibilityTable
+from .protocol import FeedbackReport, ReputationAdjustment
+
+__all__ = ["ReputationRecord", "ScoreManager"]
+
+
+def _clamp(value: float) -> float:
+    """Clamp ``value`` into the legal reputation range ``[0, 1]``."""
+    if value < 0.0:
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return value
+
+
+@dataclass
+class ReputationRecord:
+    """Reputation a single score manager stores for one subject."""
+
+    value: float = 0.0
+    reports: int = 0
+    adjustments: int = 0
+    last_update: float = 0.0
+    #: True when the value was installed explicitly (founder bootstrap or a
+    #: migrated snapshot) rather than derived from reports/adjustments.
+    seeded: bool = False
+
+    def apply_report(self, report_value: float, weight: float, time: float) -> None:
+        """Fold one weighted report into the aggregate.
+
+        The aggregate is an exponentially weighted average whose effective
+        step size is the report weight (credibility x quality x smoothing),
+        so low-credibility or low-quality reports barely move it.
+        """
+        weight = min(1.0, max(0.0, weight))
+        if self.reports == 0 and self.adjustments == 0 and not self.seeded:
+            # First evidence about a subject this manager has no prior for
+            # (a brand-new replica, typically created when score-manager
+            # responsibility shifted onto this node after churn): adopt the
+            # reported value outright.  Averaging across the other replicas
+            # and subsequent reports smooths out a dishonest first report.
+            self.value = _clamp(report_value)
+        else:
+            self.value = _clamp((1.0 - weight) * self.value + weight * report_value)
+        self.reports += 1
+        self.last_update = time
+
+    def apply_adjustment(self, delta: float, time: float) -> float:
+        """Apply a direct adjustment; return the amount actually applied.
+
+        Clamping means that crediting a peer already at 1.0 applies nothing
+        and debiting a peer at 0.05 by 0.1 only applies 0.05; callers that
+        need symmetric settlement (the lending audit) use the returned value.
+        """
+        before = self.value
+        self.value = _clamp(self.value + delta)
+        self.adjustments += 1
+        self.last_update = time
+        return self.value - before
+
+    def snapshot(self) -> dict[str, float]:
+        """Return a plain-dict copy (used by churn migration and persistence)."""
+        return {
+            "value": self.value,
+            "reports": self.reports,
+            "adjustments": self.adjustments,
+            "last_update": self.last_update,
+            "seeded": self.seeded,
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict[str, float]) -> "ReputationRecord":
+        """Rebuild a record from :meth:`snapshot` output."""
+        return cls(
+            value=float(data["value"]),
+            reports=int(data["reports"]),
+            adjustments=int(data["adjustments"]),
+            last_update=float(data["last_update"]),
+            seeded=bool(data.get("seeded", False)),
+        )
+
+
+@dataclass
+class ScoreManager:
+    """The reputation/credibility state one manager peer maintains."""
+
+    manager_id: PeerId
+    initial_credibility: float = 0.5
+    credibility_gain: float = 0.1
+    opinion_smoothing: float = 0.3
+    use_credibility: bool = True
+    use_quality: bool = True
+    credibility: CredibilityTable = field(init=False)
+    _records: dict[PeerId, ReputationRecord] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.credibility = CredibilityTable(
+            initial_credibility=self.initial_credibility, gain=self.credibility_gain
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                              #
+    # ------------------------------------------------------------------ #
+    def has_record(self, subject: PeerId) -> bool:
+        """Whether this manager stores any reputation for ``subject``."""
+        return subject in self._records
+
+    def reputation_of(self, subject: PeerId) -> float | None:
+        """Stored reputation of ``subject`` or ``None`` when unknown."""
+        record = self._records.get(subject)
+        if record is None:
+            return None
+        return record.value
+
+    def record_for(self, subject: PeerId) -> ReputationRecord:
+        """Return (creating if needed) the record for ``subject``."""
+        record = self._records.get(subject)
+        if record is None:
+            record = ReputationRecord()
+            self._records[subject] = record
+        return record
+
+    def tracked_subjects(self) -> list[PeerId]:
+        """Subjects with a record at this manager."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------ #
+    # Updates                                                              #
+    # ------------------------------------------------------------------ #
+    def receive_report(self, report: FeedbackReport) -> float:
+        """Process a feedback report; return the subject's new reputation."""
+        record = self.record_for(report.subject)
+        credibility = (
+            self.credibility.credibility_of(report.reporter)
+            if self.use_credibility
+            else 1.0
+        )
+        quality = report.quality if self.use_quality else 1.0
+        weight = self.opinion_smoothing * credibility * max(quality, 0.05)
+        record.apply_report(report.value, weight, report.time)
+        # Credibility is updated against the post-update aggregate so a lone
+        # honest report about an unknown subject is not self-penalising.
+        self.credibility.update(report.reporter, report.value, record.value)
+        return record.value
+
+    def receive_adjustment(self, adjustment: ReputationAdjustment) -> float:
+        """Apply a direct adjustment; return the amount actually applied."""
+        record = self.record_for(adjustment.subject)
+        return record.apply_adjustment(adjustment.delta, adjustment.time)
+
+    def set_reputation(self, subject: PeerId, value: float, time: float = 0.0) -> None:
+        """Overwrite the stored reputation (bootstrap of founding members)."""
+        record = self.record_for(subject)
+        record.value = _clamp(value)
+        record.last_update = time
+        record.seeded = True
+
+    # ------------------------------------------------------------------ #
+    # Churn support                                                        #
+    # ------------------------------------------------------------------ #
+    def export_record(self, subject: PeerId) -> dict[str, float] | None:
+        """Snapshot a record for migration to another manager."""
+        record = self._records.get(subject)
+        if record is None:
+            return None
+        return record.snapshot()
+
+    def install_record(self, subject: PeerId, snapshot: dict[str, float]) -> None:
+        """Install a migrated record, keeping the freshest copy on conflict."""
+        incoming = ReputationRecord.from_snapshot(snapshot)
+        existing = self._records.get(subject)
+        if existing is None or incoming.last_update >= existing.last_update:
+            self._records[subject] = incoming
+
+    def drop_all(self) -> None:
+        """Forget everything (the manager left or crashed)."""
+        self._records.clear()

@@ -1,0 +1,180 @@
+"""The replicated reputation store.
+
+:class:`ReputationStore` is the facade the rest of the library talks to.  It
+combines the overlay's score-manager assignment with the per-manager
+:class:`~repro.rocq.score_manager.ScoreManager` state:
+
+* ``global_reputation(subject)`` — query the subject's current managers and
+  combine their stored values (mean by default, median available), which is
+  what a peer obtains when it "asks for the reputation of the requesting
+  peer" before a transaction;
+* ``submit_report(report)`` — deliver a feedback report to every manager of
+  the subject;
+* ``apply_adjustment(adjustment)`` — deliver a lending-protocol adjustment to
+  every manager of the subject and return the mean amount actually applied;
+* churn hooks implementing the overlay's ``ReputationStoreProtocol`` so
+  records survive manager departures.
+
+Manager lists are cached and invalidated whenever the ring changes, keeping
+the per-transaction cost independent of ring size.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..ids import PeerId
+from ..overlay.assignment import ScoreManagerAssignment
+from .protocol import FeedbackReport, ReputationAdjustment
+from .score_manager import ScoreManager
+
+__all__ = ["ReputationStore"]
+
+
+@dataclass
+class ReputationStore:
+    """Replicated, manager-assigned reputation storage for the whole system."""
+
+    assignment: ScoreManagerAssignment
+    initial_credibility: float = 0.5
+    credibility_gain: float = 0.1
+    opinion_smoothing: float = 0.3
+    use_credibility: bool = True
+    use_quality: bool = True
+    combine: str = "mean"
+    default_reputation: float = 0.0
+    _managers: dict[PeerId, ScoreManager] = field(default_factory=dict)
+    _assignment_cache: dict[PeerId, list[PeerId]] = field(default_factory=dict)
+    reports_delivered: int = 0
+    adjustments_delivered: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Manager plumbing                                                     #
+    # ------------------------------------------------------------------ #
+    def manager_state(self, manager_id: PeerId) -> ScoreManager:
+        """Return (creating if needed) the state held by ``manager_id``."""
+        state = self._managers.get(manager_id)
+        if state is None:
+            state = ScoreManager(
+                manager_id=manager_id,
+                initial_credibility=self.initial_credibility,
+                credibility_gain=self.credibility_gain,
+                opinion_smoothing=self.opinion_smoothing,
+                use_credibility=self.use_credibility,
+                use_quality=self.use_quality,
+            )
+            self._managers[manager_id] = state
+        return state
+
+    def managers_for(self, subject: PeerId) -> list[PeerId]:
+        """Current score managers of ``subject`` (cached)."""
+        managers = self._assignment_cache.get(subject)
+        if managers is None:
+            managers = self.assignment.managers_for(subject)
+            self._assignment_cache[subject] = managers
+        return managers
+
+    def invalidate_assignments(self) -> None:
+        """Drop the assignment cache (call after any overlay membership change)."""
+        self._assignment_cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                              #
+    # ------------------------------------------------------------------ #
+    def global_reputation(self, subject: PeerId) -> float:
+        """Combined reputation of ``subject`` across its managers.
+
+        Managers that have never heard of the subject are skipped; if no
+        manager has a record the configured default (0 for new entrants, per
+        the paper's bootstrap rule) is returned.
+        """
+        values = [
+            value
+            for manager_id in self.managers_for(subject)
+            if (value := self._stored_value(manager_id, subject)) is not None
+        ]
+        if not values:
+            return self.default_reputation
+        if self.combine == "median":
+            return float(statistics.median(values))
+        return float(sum(values) / len(values))
+
+    def _stored_value(self, manager_id: PeerId, subject: PeerId) -> float | None:
+        state = self._managers.get(manager_id)
+        if state is None:
+            return None
+        return state.reputation_of(subject)
+
+    def has_any_record(self, subject: PeerId) -> bool:
+        """Whether at least one manager stores a record for ``subject``."""
+        return any(
+            self._stored_value(manager_id, subject) is not None
+            for manager_id in self.managers_for(subject)
+        )
+
+    def replica_values(self, subject: PeerId) -> list[float]:
+        """The individual replica values (useful for divergence metrics)."""
+        return [
+            value
+            for manager_id in self.managers_for(subject)
+            if (value := self._stored_value(manager_id, subject)) is not None
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Updates                                                              #
+    # ------------------------------------------------------------------ #
+    def submit_report(self, report: FeedbackReport) -> float:
+        """Deliver ``report`` to every manager of the subject; return new mean."""
+        values = []
+        for manager_id in self.managers_for(report.subject):
+            state = self.manager_state(manager_id)
+            values.append(state.receive_report(report))
+            self.reports_delivered += 1
+        if not values:
+            return self.default_reputation
+        return float(sum(values) / len(values))
+
+    def apply_adjustment(self, adjustment: ReputationAdjustment) -> float:
+        """Deliver a direct adjustment to every manager; return mean applied."""
+        applied = []
+        for manager_id in self.managers_for(adjustment.subject):
+            state = self.manager_state(manager_id)
+            applied.append(state.receive_adjustment(adjustment))
+            self.adjustments_delivered += 1
+        if not applied:
+            return 0.0
+        return float(sum(applied) / len(applied))
+
+    def set_reputation(self, subject: PeerId, value: float, time: float = 0.0) -> None:
+        """Set the stored reputation at every current manager (bootstrap)."""
+        for manager_id in self.managers_for(subject):
+            self.manager_state(manager_id).set_reputation(subject, value, time)
+
+    # ------------------------------------------------------------------ #
+    # Churn protocol (overlay.ReputationStoreProtocol)                     #
+    # ------------------------------------------------------------------ #
+    def tracked_peers(self, manager_id: PeerId) -> Iterable[PeerId]:
+        state = self._managers.get(manager_id)
+        if state is None:
+            return []
+        return state.tracked_subjects()
+
+    def export_record(self, manager_id: PeerId, subject_id: PeerId) -> object | None:
+        state = self._managers.get(manager_id)
+        if state is None:
+            return None
+        return state.export_record(subject_id)
+
+    def install_record(
+        self, manager_id: PeerId, subject_id: PeerId, record: object
+    ) -> None:
+        if not isinstance(record, dict):
+            raise TypeError("reputation records migrate as snapshot dicts")
+        self.manager_state(manager_id).install_record(subject_id, record)
+
+    def drop_manager(self, manager_id: PeerId) -> None:
+        state = self._managers.pop(manager_id, None)
+        if state is not None:
+            state.drop_all()

@@ -1,0 +1,312 @@
+"""The simulation orchestrator.
+
+:class:`Simulation` wires every subsystem together — population, topology,
+overlay ring, ROCQ store, lending manager, admission controller, metrics —
+and advances simulated time one transaction per unit, processing arrivals,
+delayed admission responses and periodic samples through a discrete-event
+queue exactly as the paper's simulator does.
+
+Typical use::
+
+    from repro import SimulationParameters, run_simulation
+
+    params = SimulationParameters(num_transactions=50_000)
+    summary = run_simulation(params, seed=7)
+    print(summary.final_cooperative, summary.final_uncooperative)
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+
+from ..config import SimulationParameters
+from ..core.admission import AdmissionController, AdmissionRequest
+from ..core.lending import LendingManager
+from ..errors import SimulationError
+from ..ids import PeerId
+from ..metrics.collector import MetricsCollector
+from ..metrics.summary import RunSummary
+from ..overlay.assignment import ScoreManagerAssignment
+from ..overlay.ring import ChordRing
+from ..peers.peer import Peer, PeerStatus
+from ..peers.population import Population
+from ..rng import RandomStreams
+from ..rocq.store import ReputationStore
+from ..topology.factory import make_topology
+from .arrivals import ArrivalFactory, PoissonArrivalProcess
+from .clock import SimulationClock
+from .event_queue import EventQueue
+from .events import Event, EventKind
+from .transactions import TransactionEngine
+
+__all__ = ["Simulation", "run_simulation"]
+
+
+@dataclass
+class _ArrivalPayload:
+    """Payload of an ARRIVAL event (empty: the peer is created on arrival)."""
+
+
+class Simulation:
+    """One complete simulation run of the reputation-lending community."""
+
+    def __init__(self, params: SimulationParameters, seed: int | None = None) -> None:
+        self.params = params
+        self.seed = params.seed if seed is None else seed
+        self.streams = RandomStreams(self.seed)
+        self.clock = SimulationClock()
+        self.population = Population()
+        self.topology = make_topology(params, self.streams.stream("topology"))
+        self.ring = ChordRing()
+        self.assignment = ScoreManagerAssignment(
+            ring=self.ring, num_score_managers=params.num_score_managers
+        )
+        self.store = ReputationStore(
+            assignment=self.assignment,
+            initial_credibility=params.rocq_initial_credibility,
+            credibility_gain=params.rocq_credibility_gain,
+            opinion_smoothing=params.rocq_opinion_smoothing,
+            use_credibility=params.rocq_use_credibility,
+            use_quality=params.rocq_use_quality,
+        )
+        self.lending = LendingManager(store=self.store, params=params)
+        self.admission = AdmissionController(
+            params=params,
+            topology=self.topology,
+            store=self.store,
+            lending=self.lending,
+            rng=self.streams.stream("admission"),
+        )
+        self.metrics = MetricsCollector()
+        self.arrivals = PoissonArrivalProcess(
+            rate=params.arrival_rate, rng=self.streams.stream("arrivals")
+        )
+        self.factory = ArrivalFactory(
+            params=params,
+            population=self.population,
+            rng=self.streams.stream("behaviour"),
+        )
+        self.transactions = TransactionEngine(
+            params=params,
+            population=self.population,
+            topology=self.topology,
+            store=self.store,
+            lending=self.lending,
+            metrics=self.metrics,
+            rng=self.streams.stream("transactions"),
+        )
+        self.events = EventQueue()
+        self._introducer_rng = self.streams.stream("introducer_choice")
+        self._initialized = False
+        self._finished = False
+
+    # ------------------------------------------------------------------ #
+    # Setup                                                                #
+    # ------------------------------------------------------------------ #
+    def setup(self) -> None:
+        """Create the founding community and schedule the initial events."""
+        if self._initialized:
+            return
+        founders = [
+            self.factory.create_founder()
+            for _ in range(self.params.num_initial_peers)
+        ]
+        for founder in founders:
+            self._join_community(founder, time=0.0, introducer=None)
+        # Reputations are installed only after the whole founding ring exists,
+        # so every founder's score managers are their final assignment.
+        for founder in founders:
+            self.store.set_reputation(
+                founder.peer_id, self.params.initial_member_reputation, 0.0
+            )
+        self.metrics.sample(0.0, self.population, self.store)
+        first_arrival = self.arrivals.next_arrival_after(0.0)
+        if first_arrival <= self.params.num_transactions:
+            self.events.schedule(first_arrival, EventKind.ARRIVAL)
+        if self.params.sample_interval <= self.params.num_transactions:
+            self.events.schedule(self.params.sample_interval, EventKind.SAMPLE)
+        self._initialized = True
+
+    # ------------------------------------------------------------------ #
+    # Main loop                                                            #
+    # ------------------------------------------------------------------ #
+    def run(self) -> RunSummary:
+        """Run the configured number of transactions and return the summary."""
+        if self._finished:
+            raise SimulationError("this Simulation has already been run")
+        self.setup()
+        started = _time.perf_counter()
+        horizon = self.params.num_transactions
+        for step in range(1, horizon + 1):
+            now = float(step)
+            self.clock.advance_to(now)
+            for event in self.events.pop_due(now):
+                self._handle_event(event)
+            self.transactions.execute(now)
+        self._finalize()
+        elapsed = _time.perf_counter() - started
+        self._finished = True
+        return self._summary(elapsed)
+
+    def step(self, transactions: int = 1) -> None:
+        """Advance the simulation by ``transactions`` time units (for tests)."""
+        self.setup()
+        for _ in range(transactions):
+            now = self.clock.now + 1.0
+            self.clock.advance_to(now)
+            for event in self.events.pop_due(now):
+                self._handle_event(event)
+            self.transactions.execute(now)
+
+    def _finalize(self) -> None:
+        """End-of-run bookkeeping: take the final metrics sample.
+
+        Outstanding lending contracts are deliberately left unsettled — the
+        paper audits an entrant only after it completed ``auditTrans``
+        transactions, so forcing an early audit at the end of the run would
+        unfairly fail cooperative entrants that simply have not had enough
+        opportunities to interact yet.
+        """
+        last_sample = (
+            self.metrics.cooperative_count.times[-1]
+            if self.metrics.cooperative_count
+            else -1.0
+        )
+        if self.clock.now > last_sample:
+            self.metrics.sample(self.clock.now, self.population, self.store)
+
+    # ------------------------------------------------------------------ #
+    # Event handling                                                       #
+    # ------------------------------------------------------------------ #
+    def _handle_event(self, event: Event) -> None:
+        if event.kind == EventKind.ARRIVAL:
+            self._handle_arrival(event.time)
+        elif event.kind == EventKind.ADMISSION_RESPONSE:
+            self._handle_admission_response(event.payload, event.time)
+        elif event.kind == EventKind.SAMPLE:
+            self._handle_sample(event.time)
+        elif event.kind == EventKind.DEPARTURE:
+            self._handle_departure(event.payload, event.time)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unhandled event kind: {event.kind}")
+
+    def _handle_arrival(self, time: float) -> None:
+        """A new peer arrives, picks an introducer, and requests admission."""
+        peer = self.factory.create_arrival(time)
+        self.metrics.record_arrival(peer)
+        introducer = self._choose_introducer(peer)
+        request = self.admission.request_admission(peer, introducer, time)
+        if request.respond_at <= time:
+            self._handle_admission_response(request, time)
+        else:
+            self.events.schedule(
+                request.respond_at, EventKind.ADMISSION_RESPONSE, payload=request
+            )
+        next_arrival = self.arrivals.next_arrival_after(time)
+        if next_arrival <= self.params.num_transactions:
+            self.events.schedule(next_arrival, EventKind.ARRIVAL)
+
+    def _choose_introducer(self, applicant: Peer) -> Peer | None:
+        """Pick the member the applicant asks, according to the topology."""
+        introducer_id = self.topology.sample_introducer(
+            self._introducer_rng, applicant.peer_id
+        )
+        if introducer_id is None:
+            return None
+        return self.population.get(introducer_id)
+
+    def _handle_admission_response(self, request: AdmissionRequest, time: float) -> None:
+        """The waiting period elapsed: apply the admission decision."""
+        result = self.admission.resolve(request, time)
+        peer = self.population.get(result.applicant)
+        if result.admitted:
+            self._join_community(peer, time, introducer=result.introducer)
+            self.admission.grant_initial_standing(peer.peer_id, time)
+            self.metrics.record_admission(peer)
+        else:
+            self.population.reject(peer.peer_id)
+            if result.refusal_reason is not None:
+                self.metrics.record_refusal(result.refusal_reason, peer)
+
+    def _handle_sample(self, time: float) -> None:
+        """Periodic metrics snapshot."""
+        self.metrics.sample(time, self.population, self.store)
+        next_sample = time + self.params.sample_interval
+        if next_sample <= self.params.num_transactions:
+            self.events.schedule(next_sample, EventKind.SAMPLE)
+
+    def _handle_departure(self, peer_id: PeerId, time: float) -> None:
+        """A member leaves the community (whitewashing / churn scenarios)."""
+        peer = self.population.get(peer_id)
+        if not peer.is_active:
+            return
+        self.population.depart(peer_id)
+        self.topology.remove_member(peer_id)
+        if peer_id in self.ring:
+            self.ring.leave(peer_id)
+        self.store.invalidate_assignments()
+
+    # ------------------------------------------------------------------ #
+    # Membership side effects                                              #
+    # ------------------------------------------------------------------ #
+    def _join_community(
+        self, peer: Peer, time: float, introducer: PeerId | None
+    ) -> None:
+        """Make ``peer`` an active member: population, overlay and topology."""
+        self.population.admit(peer.peer_id, time, introduced_by=introducer)
+        self.ring.join(peer.peer_id)
+        self.store.invalidate_assignments()
+        self.topology.add_member(peer.peer_id)
+
+    def schedule_departure(self, peer_id: PeerId, time: float) -> None:
+        """Schedule a member's departure (public hook for churn scenarios)."""
+        self.events.schedule(time, EventKind.DEPARTURE, payload=peer_id)
+
+    def add_member(
+        self,
+        behavior,
+        introducer_policy=None,
+        initial_reputation: float | None = None,
+        time: float | None = None,
+    ) -> Peer:
+        """Inject a custom member directly into the community.
+
+        A scenario-building hook (collusion rings, whitewashing studies,
+        hand-crafted populations): the peer bypasses the admission pipeline,
+        joins the overlay and topology immediately, and optionally starts with
+        an explicit reputation.  Returns the created :class:`Peer`.
+        """
+        self.setup()
+        now = self.clock.now if time is None else time
+        peer = self.population.create_peer(
+            behavior=behavior,
+            introducer_policy=introducer_policy,
+            is_founder=False,
+            arrived_at=now,
+        )
+        self._join_community(peer, now, introducer=None)
+        if initial_reputation is not None:
+            self.store.set_reputation(peer.peer_id, initial_reputation, now)
+        return peer
+
+    # ------------------------------------------------------------------ #
+    # Results                                                              #
+    # ------------------------------------------------------------------ #
+    def _summary(self, elapsed_seconds: float) -> RunSummary:
+        return RunSummary.from_run(
+            params=self.params,
+            seed=self.seed,
+            collector=self.metrics,
+            lending_stats=self.lending.stats,
+            final_cooperative=self.population.count_active(cooperative=True),
+            final_uncooperative=self.population.count_active(cooperative=False),
+            final_waiting=len(self.population.waiting_peers()),
+            final_rejected=len(self.population.peers_with_status(PeerStatus.REJECTED)),
+            elapsed_seconds=elapsed_seconds,
+        )
+
+
+def run_simulation(params: SimulationParameters, seed: int | None = None) -> RunSummary:
+    """Convenience wrapper: build, run and summarise one simulation."""
+    return Simulation(params, seed=seed).run()

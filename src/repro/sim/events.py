@@ -1,0 +1,40 @@
+"""Event types handled by the simulation engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+__all__ = ["EventKind", "Event"]
+
+
+class EventKind(str, Enum):
+    """What an event asks the engine to do when its time comes."""
+
+    #: A new peer arrives and requests admission.
+    ARRIVAL = "arrival"
+    #: The waiting period of an admission request elapsed; apply the decision.
+    ADMISSION_RESPONSE = "admission_response"
+    #: Take a periodic metrics sample.
+    SAMPLE = "sample"
+    #: A peer departs the community (used by churn/whitewashing scenarios).
+    DEPARTURE = "departure"
+
+
+@dataclass(order=True)
+class Event:
+    """A timestamped event.
+
+    Ordering is by time, then by an insertion sequence number assigned by the
+    queue, so simultaneous events are processed in the order they were
+    scheduled (deterministic replay).  The payload is excluded from ordering.
+    """
+
+    time: float
+    sequence: int = 0
+    kind: EventKind = field(compare=False, default=EventKind.SAMPLE)
+    payload: Any = field(compare=False, default=None)
+
+    def __repr__(self) -> str:
+        return f"Event(t={self.time:g}, {self.kind.value}, payload={self.payload!r})"

@@ -1,0 +1,182 @@
+"""One resource transaction.
+
+§3 defines the transaction model precisely:
+
+* the **requester** is "chosen at random from the list of peers in the
+  system";
+* the **respondent** is "chosen according to the network topology";
+* the respondent serves the request "with a probability that is equal to the
+  requesting peer's reputation" — this is the decision the success-rate
+  metric judges;
+* if served, "both parties involved in the transaction report their level of
+  satisfaction to the score managers of its transaction partners": 1 if
+  satisfied, 0 if not, and "an uncooperative peer would always send a value
+  of 0 for its partners in order to reduce the impact on its own reputation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SimulationParameters
+from ..core.lending import LendingManager
+from ..ids import PeerId
+from ..metrics.collector import MetricsCollector
+from ..peers.behavior import ColluderBehavior
+from ..peers.peer import Peer
+from ..peers.population import Population
+from ..rocq.protocol import FeedbackReport
+from ..rocq.store import ReputationStore
+from ..topology.base import TopologyModel
+
+__all__ = ["TransactionOutcome", "TransactionEngine"]
+
+
+@dataclass(frozen=True)
+class TransactionOutcome:
+    """Everything that happened in one transaction (or attempted transaction)."""
+
+    time: float
+    requester: PeerId
+    respondent: PeerId
+    served: bool
+    requester_satisfied: bool = False
+    respondent_satisfied: bool = False
+
+    @property
+    def completed(self) -> bool:
+        """Whether the transaction actually took place."""
+        return self.served
+
+
+@dataclass
+class TransactionEngine:
+    """Executes transactions against the population, topology and ROCQ store."""
+
+    params: SimulationParameters
+    population: Population
+    topology: TopologyModel
+    store: ReputationStore
+    lending: LendingManager
+    metrics: MetricsCollector
+    rng: np.random.Generator
+
+    # ------------------------------------------------------------------ #
+    # Main entry point                                                      #
+    # ------------------------------------------------------------------ #
+    def execute(self, time: float) -> TransactionOutcome | None:
+        """Run the transaction scheduled for ``time``.
+
+        Returns ``None`` when fewer than two members exist (nothing can
+        happen), otherwise a :class:`TransactionOutcome`.
+        """
+        active_ids = self.population.active_ids
+        if len(active_ids) < 2:
+            return None
+        requester = self.population.get(
+            active_ids[int(self.rng.integers(len(active_ids)))]
+        )
+        respondent_id = self.topology.sample_respondent(self.rng, requester.peer_id)
+        if respondent_id is None:
+            return None
+        respondent = self.population.get(respondent_id)
+
+        requester.requests_made += 1
+        served = self._decide_service(requester)
+        self.metrics.record_service_decision(
+            requester_cooperative=requester.is_cooperative,
+            respondent_cooperative=respondent.is_cooperative,
+            served=served,
+        )
+        if not served:
+            requester.requests_denied += 1
+            return TransactionOutcome(
+                time=time,
+                requester=requester.peer_id,
+                respondent=respondent.peer_id,
+                served=False,
+            )
+
+        requester_satisfied, respondent_satisfied = self._service_outcomes(
+            requester, respondent
+        )
+        self.metrics.record_transaction_outcome(requester_satisfied)
+        respondent.note_transaction_served(requester_satisfied)
+        requester.transactions_completed += 1
+
+        self._exchange_feedback(
+            time, requester, respondent, requester_satisfied, respondent_satisfied
+        )
+        self._notify_lending(requester.peer_id, time)
+        self._notify_lending(respondent.peer_id, time)
+        return TransactionOutcome(
+            time=time,
+            requester=requester.peer_id,
+            respondent=respondent.peer_id,
+            served=True,
+            requester_satisfied=requester_satisfied,
+            respondent_satisfied=respondent_satisfied,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Steps                                                                 #
+    # ------------------------------------------------------------------ #
+    def _decide_service(self, requester: Peer) -> bool:
+        """Serve with probability equal to the requester's reputation."""
+        reputation = self.store.global_reputation(requester.peer_id)
+        return bool(self.rng.random() < reputation)
+
+    def _service_outcomes(self, requester: Peer, respondent: Peer) -> tuple[bool, bool]:
+        """Sample whether each party found the transaction satisfactory.
+
+        Satisfaction with a partner depends on that partner's ground-truth
+        behaviour: the requester is satisfied when the respondent provided
+        good service, and vice versa — reputation then converges to "the
+        proportion of time the peer has offered good service".
+        """
+        requester_satisfied = respondent.behavior.provides_good_service(self.rng)
+        respondent_satisfied = requester.behavior.provides_good_service(self.rng)
+        return requester_satisfied, respondent_satisfied
+
+    def _exchange_feedback(
+        self,
+        time: float,
+        requester: Peer,
+        respondent: Peer,
+        requester_satisfied: bool,
+        respondent_satisfied: bool,
+    ) -> None:
+        """Both partners report to each other's score managers."""
+        self._send_report(time, reporter=requester, subject=respondent,
+                          satisfied=requester_satisfied)
+        self._send_report(time, reporter=respondent, subject=requester,
+                          satisfied=respondent_satisfied)
+
+    def _send_report(
+        self, time: float, reporter: Peer, subject: Peer, satisfied: bool
+    ) -> None:
+        """Build and deliver one feedback report."""
+        opinion = reporter.opinions.record_interaction(
+            subject.peer_id, 1.0 if satisfied else 0.0
+        )
+        behavior = reporter.behavior
+        if isinstance(behavior, ColluderBehavior):
+            value = behavior.report_value_about(subject.peer_id, satisfied)
+        else:
+            value = behavior.report_value(satisfied)
+        report = FeedbackReport(
+            reporter=reporter.peer_id,
+            subject=subject.peer_id,
+            value=value,
+            quality=opinion.quality,
+            time=time,
+        )
+        self.store.submit_report(report)
+
+    def _notify_lending(self, peer_id: PeerId, time: float) -> None:
+        """Count the transaction towards an outstanding audit, if any."""
+        result = self.lending.note_transaction(peer_id, time)
+        if result is not None:
+            self.metrics.record_audit(result)

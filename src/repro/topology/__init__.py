@@ -1,0 +1,23 @@
+"""Interaction topologies.
+
+The respondent of each transaction — and the prospective introducer of each
+new arrival — is "chosen according to the network topology" (§3).  Two
+models are provided, matching the paper:
+
+* :class:`RandomTopology` — every active peer is equally likely;
+* :class:`ScaleFreeTopology` — peers are chosen with probability
+  proportional to their degree in a preferential-attachment (Barabási–Albert)
+  graph, producing the power-law popularity the paper calls "scale-free".
+"""
+
+from .base import TopologyModel
+from .random_topology import RandomTopology
+from .scale_free import ScaleFreeTopology
+from .factory import make_topology
+
+__all__ = [
+    "TopologyModel",
+    "RandomTopology",
+    "ScaleFreeTopology",
+    "make_topology",
+]

@@ -1,0 +1,33 @@
+"""Workloads: scenario presets and parameter sweeps.
+
+Scenarios are named :class:`~repro.config.SimulationParameters` presets (the
+paper's Table 1 operating point, laptop-scale variants of it, the baseline
+bootstrap modes, stress configurations).  Sweeps run a simulation repeatedly
+while varying one parameter, averaging over independent repeats — this is the
+building block every figure-reproducing experiment uses.
+"""
+
+from .scenarios import (
+    fixed_credit_baseline,
+    high_arrival_stress,
+    laptop_scale,
+    open_admission_baseline,
+    paper_default,
+    random_topology_variant,
+    tiny_test,
+)
+from .sweep import ParameterSweep, SweepPoint, SweepResult, aggregate_mean
+
+__all__ = [
+    "paper_default",
+    "laptop_scale",
+    "tiny_test",
+    "random_topology_variant",
+    "open_admission_baseline",
+    "fixed_credit_baseline",
+    "high_arrival_stress",
+    "ParameterSweep",
+    "SweepPoint",
+    "SweepResult",
+    "aggregate_mean",
+]

@@ -1,0 +1,79 @@
+"""Named scenario presets.
+
+Each function returns a fully validated
+:class:`~repro.config.SimulationParameters`; callers can further override
+individual fields with :meth:`~repro.config.SimulationParameters.with_overrides`.
+"""
+
+from __future__ import annotations
+
+from ..config import BootstrapMode, SimulationParameters, Topology
+
+__all__ = [
+    "paper_default",
+    "laptop_scale",
+    "tiny_test",
+    "random_topology_variant",
+    "open_admission_baseline",
+    "fixed_credit_baseline",
+    "high_arrival_stress",
+]
+
+
+def paper_default(seed: int = 1) -> SimulationParameters:
+    """The paper's Table 1 operating point (500k transactions, 10 repeats)."""
+    return SimulationParameters(seed=seed)
+
+
+def laptop_scale(scale: float = 0.1, seed: int = 1) -> SimulationParameters:
+    """Table 1 scaled down to ``scale`` of the paper's horizon.
+
+    Rates are untouched, so the *density* of arrivals per transaction — and
+    therefore the qualitative dynamics — match the paper; only the horizon
+    (and the number of entrants) shrinks.  ``scale=0.1`` runs 50,000
+    transactions and finishes in a few seconds on a laptop.
+    """
+    return paper_default(seed=seed).scaled(scale)
+
+
+def tiny_test(seed: int = 1) -> SimulationParameters:
+    """A very small configuration for unit/integration tests (sub-second)."""
+    return SimulationParameters(
+        num_initial_peers=60,
+        num_transactions=3_000,
+        arrival_rate=0.02,
+        sample_interval=500.0,
+        waiting_period=100.0,
+        repeats=2,
+        seed=seed,
+    )
+
+
+def random_topology_variant(base: SimulationParameters | None = None) -> SimulationParameters:
+    """The same operating point on the random (uniform) topology."""
+    params = base if base is not None else paper_default()
+    return params.with_overrides(topology=Topology.RANDOM)
+
+
+def open_admission_baseline(base: SimulationParameters | None = None) -> SimulationParameters:
+    """The "without introductions" baseline: everyone admitted at a neutral value."""
+    params = base if base is not None else paper_default()
+    return params.with_overrides(bootstrap_mode=BootstrapMode.OPEN)
+
+
+def fixed_credit_baseline(
+    base: SimulationParameters | None = None, credit: float = 0.3
+) -> SimulationParameters:
+    """BitTorrent/Scrivener-style baseline: flat initial credit for everyone."""
+    params = base if base is not None else paper_default()
+    return params.with_overrides(
+        bootstrap_mode=BootstrapMode.FIXED_CREDIT, fixed_initial_credit=credit
+    )
+
+
+def high_arrival_stress(
+    arrival_rate: float = 0.2, base: SimulationParameters | None = None
+) -> SimulationParameters:
+    """The overload regime of Figure 2: very high new-peer arrival rates."""
+    params = base if base is not None else paper_default()
+    return params.with_overrides(arrival_rate=arrival_rate)

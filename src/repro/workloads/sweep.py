@@ -1,0 +1,157 @@
+"""Parameter sweeps with repeat-averaging.
+
+A :class:`ParameterSweep` runs the simulator at a series of points (each a
+set of parameter overrides applied to a base configuration), repeating every
+point ``repeats`` times with independent seeds, and returns a
+:class:`SweepResult` that can aggregate any :class:`~repro.metrics.summary.RunSummary`
+attribute across the repeats.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..config import SimulationParameters
+from ..metrics.summary import RunSummary
+from ..metrics.timeseries import TimeSeries
+from ..rng import derive_seed
+from ..sim.engine import run_simulation
+
+__all__ = ["SweepPoint", "SweepResult", "ParameterSweep", "aggregate_mean", "average_series"]
+
+
+def aggregate_mean(values: Sequence[float]) -> tuple[float, float]:
+    """Return (mean, sample standard deviation) of ``values``.
+
+    The standard deviation is 0 for a single value and NaN for no values.
+    """
+    cleaned = [float(v) for v in values]
+    if not cleaned:
+        return float("nan"), float("nan")
+    mean = statistics.fmean(cleaned)
+    std = statistics.stdev(cleaned) if len(cleaned) > 1 else 0.0
+    return mean, std
+
+
+def average_series(series_list: Sequence[TimeSeries], name: str = "") -> TimeSeries:
+    """Average several time series element-wise (truncated to the shortest).
+
+    The experiment harness samples every run at the same interval, so samples
+    align by index; when repeats produced different lengths (e.g. a run ended
+    mid-interval) the extra samples are dropped.
+    """
+    averaged = TimeSeries(name=name)
+    non_empty = [series for series in series_list if len(series)]
+    if not non_empty:
+        return averaged
+    length = min(len(series) for series in non_empty)
+    for index in range(length):
+        time = non_empty[0].times[index]
+        values = [series.values[index] for series in non_empty]
+        finite = [v for v in values if v == v]  # drop NaN
+        value = sum(finite) / len(finite) if finite else float("nan")
+        averaged.append(time, value)
+    return averaged
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep: a label, an x value and parameter overrides."""
+
+    label: str
+    x: float
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """All runs of a sweep, grouped by point."""
+
+    name: str
+    points: list[SweepPoint]
+    summaries: dict[str, list[RunSummary]]
+
+    def summaries_at(self, label: str) -> list[RunSummary]:
+        """The repeat summaries collected at the point called ``label``."""
+        return self.summaries[label]
+
+    def mean_metric(
+        self, label: str, getter: Callable[[RunSummary], float]
+    ) -> tuple[float, float]:
+        """Mean and standard deviation of ``getter`` over the point's repeats."""
+        return aggregate_mean([getter(s) for s in self.summaries_at(label)])
+
+    def series(
+        self, getter: Callable[[RunSummary], float]
+    ) -> list[tuple[float, float, float]]:
+        """Return [(x, mean, std), ...] across the sweep, in point order."""
+        rows = []
+        for point in self.points:
+            mean, std = self.mean_metric(point.label, getter)
+            rows.append((point.x, mean, std))
+        return rows
+
+    def averaged_timeseries(
+        self, label: str, getter: Callable[[RunSummary], TimeSeries]
+    ) -> TimeSeries:
+        """Element-wise average of a time series across the point's repeats."""
+        return average_series(
+            [getter(s) for s in self.summaries_at(label)], name=label
+        )
+
+
+@dataclass
+class ParameterSweep:
+    """Runs the simulator over a list of parameter points.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in seed derivation and result files.
+    base:
+        Base configuration every point starts from.
+    points:
+        The sweep points (label, x value, overrides).
+    repeats:
+        Independent repetitions per point; ``None`` uses ``base.repeats``.
+    scale:
+        Horizon scaling applied to every point (see
+        :meth:`~repro.config.SimulationParameters.scaled`).
+    """
+
+    name: str
+    base: SimulationParameters
+    points: list[SweepPoint]
+    repeats: int | None = None
+    scale: float = 1.0
+
+    def params_for(self, point: SweepPoint) -> SimulationParameters:
+        """The fully resolved parameters used at ``point``."""
+        params = self.base.with_overrides(**dict(point.overrides))
+        if self.scale != 1.0:
+            params = params.scaled(self.scale)
+        return params
+
+    def run(self, progress: Callable[[str], None] | None = None) -> SweepResult:
+        """Execute the sweep and return its result.
+
+        ``progress`` (if given) receives a short human-readable message before
+        each individual simulation run; the experiment CLI uses it to show
+        what is happening during long sweeps.
+        """
+        repeats = self.repeats if self.repeats is not None else self.base.repeats
+        summaries: dict[str, list[RunSummary]] = {}
+        for point in self.points:
+            params = self.params_for(point)
+            runs: list[RunSummary] = []
+            for repeat in range(repeats):
+                seed = derive_seed(self.base.seed, self.name, point.label, repeat)
+                if progress is not None:
+                    progress(
+                        f"[{self.name}] point={point.label} repeat={repeat + 1}/{repeats}"
+                    )
+                runs.append(run_simulation(params, seed=seed))
+            summaries[point.label] = runs
+        return SweepResult(name=self.name, points=list(self.points), summaries=summaries)

@@ -1,0 +1,108 @@
+"""Attack-scenario tests: collusion and whitewashing against the mechanism.
+
+These exercise the behaviours the paper's discussion worries about — a
+colluding ring inflating each other's reputations, and a freerider discarding
+its identity to re-enter — inside the full simulation engine, using the
+``Simulation.add_member`` scenario hook.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationParameters
+from repro.core.policies import NaivePolicy
+from repro.peers.behavior import (
+    ColluderBehavior,
+    FreeriderBehavior,
+    WhitewasherBehavior,
+)
+from repro.sim.engine import Simulation
+
+PARAMS = SimulationParameters(
+    num_initial_peers=60,
+    num_transactions=4_000,
+    arrival_rate=0.0,
+    sample_interval=1_000.0,
+    audit_transactions=10,
+    seed=31,
+)
+
+
+class TestCollusionRing:
+    def test_colluders_inflate_ring_member_reputation(self):
+        """A colluder's false praise props up its freeriding accomplice."""
+        # Control: a lone freerider in an honest community.
+        control = Simulation(PARAMS, seed=100)
+        control.setup()
+        lone_freerider = control.add_member(FreeriderBehavior(), initial_reputation=0.5)
+        control.step(4_000)
+        control_reputation = control.store.global_reputation(lone_freerider.peer_id)
+
+        # Attack: the freeriding accomplice is backed by three colluders that
+        # always report full satisfaction about ring members.
+        attacked = Simulation(PARAMS, seed=100)
+        attacked.setup()
+        accomplice = attacked.add_member(FreeriderBehavior(), initial_reputation=0.5)
+        ring_ids = {accomplice.peer_id}
+        colluders = []
+        for _ in range(3):
+            colluder = attacked.add_member(
+                ColluderBehavior(ring=set(ring_ids)), introducer_policy=NaivePolicy(),
+                initial_reputation=1.0,
+            )
+            ring_ids.add(colluder.peer_id)
+            colluders.append(colluder)
+        for colluder in colluders:
+            colluder.behavior.ring = frozenset(ring_ids)
+        attacked.step(4_000)
+        attacked_reputation = attacked.store.global_reputation(accomplice.peer_id)
+
+        # Collusion measurably helps the accomplice...
+        assert attacked_reputation > control_reputation
+        # ...but honest feedback from the rest of the community still keeps it
+        # well below the standing of a cooperative peer.
+        assert attacked_reputation < 0.8
+
+    def test_colluders_keep_their_own_reputation_high(self):
+        simulation = Simulation(PARAMS, seed=7)
+        simulation.setup()
+        colluder = simulation.add_member(
+            ColluderBehavior(ring=frozenset()), initial_reputation=1.0
+        )
+        simulation.step(2_000)
+        # Colluders provide genuinely good service, so their reputation holds.
+        assert simulation.store.global_reputation(colluder.peer_id) > 0.7
+
+
+class TestWhitewashing:
+    def test_whitewashing_does_not_restore_standing_under_lending(self):
+        """Re-entering with a fresh identity means starting from zero again."""
+        simulation = Simulation(PARAMS, seed=11)
+        simulation.setup()
+        whitewasher = simulation.add_member(
+            WhitewasherBehavior(), initial_reputation=0.5
+        )
+        simulation.step(2_500)
+        burned_reputation = simulation.store.global_reputation(whitewasher.peer_id)
+        assert burned_reputation < 0.3  # freeriding destroyed the identity
+
+        # The peer discards the identity and returns as a stranger.  Under the
+        # lending bootstrap the new identity has zero reputation and is not a
+        # member until someone vouches for it.
+        simulation.schedule_departure(whitewasher.peer_id, time=simulation.clock.now + 1)
+        simulation.step(10)
+        fresh = simulation.population.create_peer(
+            behavior=WhitewasherBehavior(), arrived_at=simulation.clock.now
+        )
+        assert simulation.store.global_reputation(fresh.peer_id) == pytest.approx(0.0)
+        assert fresh.peer_id not in simulation.population.active_ids
+
+    def test_departed_whitewasher_leaves_overlay_and_topology(self):
+        simulation = Simulation(PARAMS, seed=13)
+        simulation.setup()
+        whitewasher = simulation.add_member(WhitewasherBehavior(), initial_reputation=0.5)
+        simulation.schedule_departure(whitewasher.peer_id, time=simulation.clock.now + 1)
+        simulation.step(5)
+        assert whitewasher.peer_id not in simulation.ring
+        assert whitewasher.peer_id not in simulation.topology

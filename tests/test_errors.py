@@ -1,0 +1,78 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DuplicateIntroductionError,
+    EmptyPopulationError,
+    InsufficientReputationError,
+    IntroductionRefusedError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    UnknownPeerError,
+    WaitingPeriodError,
+)
+
+
+ALL_ERRORS = [
+    ConfigurationError,
+    UnknownPeerError,
+    DuplicateIntroductionError,
+    IntroductionRefusedError,
+    InsufficientReputationError,
+    WaitingPeriodError,
+    ProtocolError,
+    SimulationError,
+    EmptyPopulationError,
+]
+
+
+@pytest.mark.parametrize("error_cls", ALL_ERRORS)
+def test_every_error_derives_from_repro_error(error_cls):
+    assert issubclass(error_cls, ReproError)
+
+
+def test_empty_population_is_a_simulation_error():
+    assert issubclass(EmptyPopulationError, SimulationError)
+
+
+def test_unknown_peer_error_carries_peer_id():
+    error = UnknownPeerError(17)
+    assert error.peer_id == 17
+    assert "17" in str(error)
+
+
+def test_duplicate_introduction_error_carries_peer_id():
+    error = DuplicateIntroductionError(4)
+    assert error.peer_id == 4
+    assert "4" in str(error)
+
+
+def test_introduction_refused_error_fields():
+    error = IntroductionRefusedError(1, 2, "low reputation")
+    assert error.introducer_id == 1
+    assert error.applicant_id == 2
+    assert "low reputation" in str(error)
+
+
+def test_insufficient_reputation_error_fields():
+    error = InsufficientReputationError(3, 0.1, 0.2)
+    assert error.introducer_id == 3
+    assert error.reputation == pytest.approx(0.1)
+    assert error.required == pytest.approx(0.2)
+
+
+def test_waiting_period_error_fields():
+    error = WaitingPeriodError(5, ready_at=100.0, now=40.0)
+    assert error.peer_id == 5
+    assert error.ready_at == pytest.approx(100.0)
+    assert error.now == pytest.approx(40.0)
+
+
+def test_errors_can_be_caught_as_repro_error():
+    with pytest.raises(ReproError):
+        raise WaitingPeriodError(1, 10.0, 5.0)

@@ -1,0 +1,83 @@
+"""Smoke tests for the example scripts and the experiment CLI entry point.
+
+The heavier examples (quickstart, bootstrap_policies, introducer_economics)
+are exercised end-to-end by the benchmark/experiment machinery they wrap;
+here we make sure every example module is importable, the lightweight ones
+run to completion, and the CLI produces a report and exit code.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import runner
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import an example script as a module without executing __main__."""
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+ALL_EXAMPLES = [
+    "quickstart.py",
+    "bootstrap_policies.py",
+    "introducer_economics.py",
+    "newcomer_problem.py",
+    "reproduce_paper.py",
+]
+
+
+class TestExampleScripts:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_exists_and_imports(self, name):
+        module = load_example(name)
+        assert hasattr(module, "main"), f"{name} must expose a main() function"
+        assert module.__doc__, f"{name} must have a module docstring"
+
+    def test_newcomer_problem_runs(self, capsys):
+        module = load_example("newcomer_problem.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "eigentrust" in output
+        assert "stranger" in output
+
+    def test_reproduce_paper_runs_single_experiment(self, tmp_path, capsys):
+        module = load_example("reproduce_paper.py")
+        exit_code = module.main(
+            ["--scale", "0.01", "--repeats", "1", "--only", "table1",
+             "--out", str(tmp_path)]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "report.md").exists()
+        assert (tmp_path / "table1.json").exists()
+        output = capsys.readouterr().out
+        assert "Reproduction report" in output
+
+
+class TestRunnerCli:
+    def test_main_returns_zero_when_checks_pass(self, tmp_path, capsys):
+        exit_code = runner.main(
+            ["--scale", "0.01", "--repeats", "1", "--only", "table1",
+             "--out", str(tmp_path)]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "report.md").exists()
+        output = capsys.readouterr().out
+        assert "table1" in output
+
+    def test_main_without_output_directory(self, capsys):
+        exit_code = runner.main(["--scale", "0.01", "--repeats", "1",
+                                 "--only", "table1"])
+        assert exit_code == 0
+        assert "Reproduction report" in capsys.readouterr().out

@@ -1,0 +1,195 @@
+"""Tests for the experiment harness (smoke runs at minuscule scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.storage import ResultStore
+from repro.config import SimulationParameters
+from repro.experiments import (
+    EXPERIMENTS,
+    Figure1Growth,
+    Figure2ReputationOverTime,
+    Figure3NaiveProportion,
+    Figure4LentAmount,
+    Figure5LentProportion,
+    Figure6FreeriderFraction,
+    SuccessRateExperiment,
+    Table1Parameters,
+    make_experiment,
+    render_report,
+    run_all,
+)
+from repro.experiments.base import ExperimentResult
+
+
+#: A tiny base configuration shared by the smoke runs: small community, short
+#: horizon, short waiting period so admissions actually happen.
+SMOKE_BASE = SimulationParameters(
+    num_initial_peers=80,
+    num_transactions=4_000,
+    arrival_rate=0.02,
+    waiting_period=200.0,
+    sample_interval=500.0,
+    audit_transactions=5,
+    seed=17,
+)
+
+
+def smoke(experiment_cls, **kwargs):
+    """Instantiate an experiment at smoke scale (scale=1 of the tiny base)."""
+    return experiment_cls(
+        scale=1.0, repeats=1, seed=17, base_params=SMOKE_BASE, **kwargs
+    )
+
+
+class TestRegistry:
+    def test_registry_covers_every_paper_artefact(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "figure1",
+            "success",
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+        }
+
+    def test_make_experiment_unknown_id(self):
+        with pytest.raises(KeyError):
+            make_experiment("figure99")
+
+    def test_make_experiment_builds_registered_class(self):
+        experiment = make_experiment("figure1", scale=0.5, repeats=2, seed=9)
+        assert isinstance(experiment, Figure1Growth)
+        assert experiment.scale == 0.5
+        assert experiment.repeats == 2
+
+
+class TestTable1:
+    def test_defaults_pass_checks(self):
+        experiment = Table1Parameters(scale=1.0, repeats=1)
+        result = experiment.run_and_validate()
+        assert result.all_checks_passed
+        assert "num_initial_peers (paper)" in result.scalars
+
+
+class TestFigure1:
+    def test_produces_two_series_and_scalars(self):
+        result = smoke(Figure1Growth).run_and_validate()
+        assert set(result.series) == {"Random Network", "Scale-free Network"}
+        for points in result.series.values():
+            assert len(points) >= 2
+        assert any("final cooperative" in key for key in result.scalars)
+
+    def test_growth_check_passes_at_smoke_scale(self):
+        result = smoke(Figure1Growth).run_and_validate()
+        by_name = {check.name: check for check in result.checks}
+        assert by_name["uncooperative count grows with cooperative count"].passed
+        assert by_name["slope well below the admission-free 1:3 ratio"].passed
+
+
+class TestSuccessRate:
+    def test_reports_both_configurations(self):
+        result = smoke(SuccessRateExperiment).run_and_validate()
+        lending_keys = [k for k in result.scalars if "lending" in k and "std" not in k]
+        open_keys = [k for k in result.scalars if "open" in k and "std" not in k]
+        assert lending_keys and open_keys
+        for check in result.checks:
+            assert check.passed, check
+
+
+class TestFigure2:
+    def test_series_per_arrival_rate(self):
+        experiment = smoke(Figure2ReputationOverTime, arrival_rates=(0.005, 0.05))
+        result = experiment.run_and_validate()
+        assert set(result.series) == {"Arrival Rate 0.005", "Arrival Rate 0.05"}
+        for points in result.series.values():
+            assert all(0.0 <= y <= 1.0 for _, y in points if y == y)
+
+    def test_uncooperative_reputation_scalar_recorded(self):
+        experiment = smoke(Figure2ReputationOverTime, arrival_rates=(0.01,))
+        result = experiment.run()
+        assert "final uncooperative reputation (rate 0.01)" in result.scalars
+
+
+class TestFigure3:
+    def test_series_cover_requested_fractions(self):
+        experiment = smoke(Figure3NaiveProportion, naive_fractions=(0.0, 1.0))
+        result = experiment.run_and_validate()
+        xs = [x for x, _ in result.series["Cooperative Peers"]]
+        assert xs == [0.0, 1.0]
+        assert "Uncooperative Peers" in result.series
+
+
+class TestFigures4And5:
+    def test_figure4_series_and_refusals(self):
+        experiment = smoke(Figure4LentAmount, amounts=(0.05, 0.45))
+        result = experiment.run_and_validate()
+        assert set(result.series) == {
+            "Cooperative Peers",
+            "Uncooperative Peers",
+            "Entry Refused due to Introducer Reputation",
+            "Entry Refused to Uncooperative Peer",
+        }
+        assert experiment.sweep_result is not None
+
+    def test_figure5_reuses_figure4_sweep(self):
+        figure4 = smoke(Figure4LentAmount, amounts=(0.05, 0.45))
+        figure4.run()
+        figure5 = smoke(
+            Figure5LentProportion, amounts=(0.05, 0.45),
+            shared_sweep=figure4.sweep_result,
+        )
+        result = figure5.run_and_validate()
+        assert any("reused" in note for note in result.notes)
+        for points in result.series.values():
+            for _, proportion in points:
+                assert 0.0 <= proportion <= 1.0
+        by_name = {check.name: check for check in result.checks}
+        assert by_name["proportions are complementary"].passed
+
+
+class TestFigure6:
+    def test_series_and_extreme_points(self):
+        experiment = smoke(Figure6FreeriderFraction, fractions=(0.0, 1.0))
+        result = experiment.run_and_validate()
+        coop = dict(result.series["Cooperative Peers"])
+        assert coop[0.0] >= coop[100.0]
+        assert "uncooperative arrivals at 100%" in result.scalars
+
+
+class TestRunnerAndReport:
+    def test_run_all_subset_with_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        results = run_all(
+            scale=1.0,
+            repeats=1,
+            seed=17,
+            only=["table1", "figure1"],
+            store=store,
+            base_params=SMOKE_BASE,
+        )
+        assert set(results) == {"table1", "figure1"}
+        assert store.exists("figure1")
+        for result in results.values():
+            assert isinstance(result, ExperimentResult)
+            assert result.checks  # validation ran
+
+    def test_render_report_mentions_every_experiment(self):
+        results = run_all(
+            scale=1.0, repeats=1, seed=17, only=["table1"], base_params=SMOKE_BASE
+        )
+        report = render_report(results)
+        assert "# Reproduction report" in report
+        assert "table1" in report
+        assert "PASS" in report or "FAIL" in report
+
+    def test_result_render_text_and_to_dict(self):
+        result = smoke(Figure1Growth).run_and_validate()
+        text = result.render_text()
+        assert "figure1" in text
+        data = result.to_dict()
+        assert data["experiment_id"] == "figure1"
+        assert set(data["series"]) == set(result.series)

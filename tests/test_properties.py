@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.plotting import sparkline
+from repro.analysis.tables import format_table
+from repro.config import SimulationParameters
+from repro.ids import KEY_SPACE_SIZE, PeerIdAllocator, hash_to_key
+from repro.metrics.success_rate import SuccessRateTracker
+from repro.metrics.timeseries import TimeSeries
+from repro.overlay.hashing import clockwise_distance, in_interval, ring_distance
+from repro.overlay.ring import ChordRing
+from repro.rng import derive_seed
+from repro.rocq.credibility import CredibilityRecord
+from repro.rocq.opinion import LocalOpinion
+from repro.rocq.score_manager import ReputationRecord
+
+# Keep hypothesis fast and deterministic enough for CI-style runs.
+settings.register_profile("repro", max_examples=60, deadline=None)
+settings.load_profile("repro")
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+keys = st.integers(min_value=0, max_value=KEY_SPACE_SIZE - 1)
+
+
+class TestRingArithmeticProperties:
+    @given(a=keys, b=keys)
+    def test_ring_distance_symmetric_and_bounded(self, a, b):
+        assert ring_distance(a, b) == ring_distance(b, a)
+        assert 0 <= ring_distance(a, b) <= KEY_SPACE_SIZE // 2
+
+    @given(a=keys, b=keys)
+    def test_clockwise_distances_sum_to_ring_size(self, a, b):
+        if a == b:
+            assert clockwise_distance(a, b) == 0
+        else:
+            assert (
+                clockwise_distance(a, b) + clockwise_distance(b, a) == KEY_SPACE_SIZE
+            )
+
+    @given(key=keys, left=keys, right=keys)
+    def test_interval_membership_is_exclusive_with_complement(self, key, left, right):
+        if left == right or key in (left, right):
+            return
+        inside = in_interval(key, left, right, inclusive_right=False)
+        outside = in_interval(key, right, left, inclusive_right=False)
+        assert inside != outside
+
+    @given(data=st.binary(max_size=64))
+    def test_hash_to_key_stays_in_key_space(self, data):
+        assert 0 <= hash_to_key(data) < KEY_SPACE_SIZE
+
+
+class TestRingMembershipProperties:
+    @given(peer_ids=st.sets(st.integers(min_value=0, max_value=10_000), min_size=1,
+                            max_size=40))
+    def test_every_key_has_exactly_one_responsible_node(self, peer_ids):
+        ring = ChordRing()
+        for peer_id in peer_ids:
+            ring.join(peer_id)
+        assert len(ring) == len(peer_ids)
+        probe_keys = [hash_to_key(str(i).encode()) for i in range(10)]
+        for key in probe_keys:
+            responsible = ring.responsible_peer(key)
+            assert responsible in peer_ids
+
+    @given(peer_ids=st.lists(st.integers(min_value=0, max_value=1000), min_size=2,
+                             max_size=30, unique=True))
+    def test_join_then_leave_restores_previous_responsibility(self, peer_ids):
+        ring = ChordRing()
+        for peer_id in peer_ids[:-1]:
+            ring.join(peer_id)
+        probe = hash_to_key(b"probe")
+        before = ring.responsible_peer(probe)
+        ring.join(peer_ids[-1])
+        ring.leave(peer_ids[-1])
+        assert ring.responsible_peer(probe) == before
+
+
+class TestReputationRecordProperties:
+    @given(
+        initial=unit_floats,
+        reports=st.lists(st.tuples(unit_floats, unit_floats), max_size=30),
+        adjustments=st.lists(st.floats(min_value=-1.0, max_value=1.0,
+                                       allow_nan=False), max_size=10),
+    )
+    def test_reputation_always_stays_in_unit_interval(self, initial, reports, adjustments):
+        record = ReputationRecord(value=initial, reports=1)
+        time = 0.0
+        for value, weight in reports:
+            time += 1.0
+            record.apply_report(value, weight, time)
+            assert 0.0 <= record.value <= 1.0
+        for delta in adjustments:
+            time += 1.0
+            record.apply_adjustment(delta, time)
+            assert 0.0 <= record.value <= 1.0
+
+    @given(values=st.lists(unit_floats, min_size=1, max_size=50))
+    def test_reputation_bounded_by_report_extremes_after_first(self, values):
+        record = ReputationRecord()
+        for index, value in enumerate(values):
+            record.apply_report(value, weight=0.3, time=float(index))
+        assert min(values) - 1e-9 <= record.value <= max(values) + 1e-9
+
+    @given(initial=unit_floats, delta=st.floats(min_value=-1.0, max_value=1.0,
+                                                allow_nan=False))
+    def test_adjustment_returns_exact_applied_amount(self, initial, delta):
+        record = ReputationRecord(value=initial, reports=1)
+        before = record.value
+        applied = record.apply_adjustment(delta, time=1.0)
+        assert math.isclose(record.value, before + applied, abs_tol=1e-12)
+
+    def test_snapshot_round_trip_property(self):
+        @given(value=unit_floats, reports=st.integers(0, 100),
+               adjustments=st.integers(0, 100), when=st.floats(0, 1e6))
+        def inner(value, reports, adjustments, when):
+            record = ReputationRecord(value=value, reports=reports,
+                                      adjustments=adjustments, last_update=when)
+            assert ReputationRecord.from_snapshot(record.snapshot()) == record
+
+        inner()
+
+
+class TestOpinionAndCredibilityProperties:
+    @given(samples=st.lists(unit_floats, max_size=50),
+           smoothing=st.floats(min_value=0.01, max_value=1.0))
+    def test_opinion_value_and_quality_bounded(self, samples, smoothing):
+        opinion = LocalOpinion()
+        for sample in samples:
+            opinion.record(sample, smoothing)
+        assert 0.0 <= opinion.value <= 1.0
+        assert 0.0 <= opinion.quality <= 1.0
+
+    @given(agreements=st.lists(unit_floats, max_size=50),
+           gain=st.floats(min_value=0.01, max_value=1.0))
+    def test_credibility_bounded(self, agreements, gain):
+        record = CredibilityRecord(value=0.5)
+        for agreement in agreements:
+            record.update(agreement, gain)
+        assert 0.0 <= record.value <= 1.0
+
+
+class TestSuccessTrackerProperties:
+    @given(decisions=st.lists(st.tuples(st.booleans(), st.booleans()), max_size=200))
+    def test_rate_between_zero_and_one_and_counts_add_up(self, decisions):
+        tracker = SuccessRateTracker()
+        for cooperative, served in decisions:
+            tracker.record(cooperative, served)
+        assert tracker.total_decisions == len(decisions)
+        if decisions:
+            assert 0.0 <= tracker.success_rate <= 1.0
+        assert (
+            tracker.correct_decisions
+            + tracker.accepted_uncooperative
+            + tracker.denied_cooperative
+            == tracker.total_decisions
+        )
+
+    @given(left=st.lists(st.tuples(st.booleans(), st.booleans()), max_size=50),
+           right=st.lists(st.tuples(st.booleans(), st.booleans()), max_size=50))
+    def test_merge_equals_recording_everything_in_one_tracker(self, left, right):
+        a, b, combined = SuccessRateTracker(), SuccessRateTracker(), SuccessRateTracker()
+        for cooperative, served in left:
+            a.record(cooperative, served)
+            combined.record(cooperative, served)
+        for cooperative, served in right:
+            b.record(cooperative, served)
+            combined.record(cooperative, served)
+        assert a.merge(b) == combined
+
+
+class TestTimeSeriesProperties:
+    @given(values=st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                                     width=32), max_size=40))
+    def test_round_trip_and_monotone_times(self, values):
+        series = TimeSeries(name="p")
+        for index, value in enumerate(values):
+            series.append(float(index), value)
+        rebuilt = TimeSeries.from_dict(series.to_dict())
+        assert rebuilt.values == series.values
+        assert rebuilt.times == sorted(rebuilt.times)
+
+
+class TestMiscellaneousProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           token=st.text(max_size=20))
+    def test_derive_seed_deterministic_and_in_range(self, seed, token):
+        first = derive_seed(seed, token)
+        second = derive_seed(seed, token)
+        assert first == second
+        assert 0 <= first < 2**63
+
+    @given(count=st.integers(min_value=0, max_value=200))
+    def test_allocator_ids_unique_and_dense(self, count):
+        allocator = PeerIdAllocator()
+        ids = allocator.allocate_many(count)
+        assert ids == list(range(count))
+
+    @given(values=st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                                     width=32), max_size=30))
+    def test_sparkline_length_matches_input(self, values):
+        assert len(sparkline(values)) == len(values)
+
+    @given(rows=st.lists(st.lists(st.integers(-1000, 1000), min_size=2, max_size=2),
+                         max_size=10))
+    def test_format_table_line_count(self, rows):
+        text = format_table(["a", "b"], rows)
+        assert len(text.splitlines()) == 2 + len(rows)
+
+    @given(factor=st.floats(min_value=0.001, max_value=1.0))
+    def test_scaled_params_always_valid(self, factor):
+        params = SimulationParameters().scaled(factor)
+        assert params.num_transactions >= 1
+        assert params.sample_interval >= 1.0

@@ -1,0 +1,133 @@
+"""Tests for ROCQ local opinions and reporter credibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rocq.credibility import CredibilityRecord, CredibilityTable
+from repro.rocq.opinion import LocalOpinion, OpinionBook, opinion_entropy
+
+
+class TestLocalOpinion:
+    def test_first_sample_adopted_directly(self):
+        opinion = LocalOpinion()
+        opinion.record(1.0, smoothing=0.3)
+        assert opinion.value == pytest.approx(1.0)
+        assert opinion.interactions == 1
+
+    def test_smoothing_moves_towards_new_samples(self):
+        opinion = LocalOpinion()
+        opinion.record(1.0, smoothing=0.3)
+        opinion.record(0.0, smoothing=0.3)
+        assert opinion.value == pytest.approx(0.7)
+
+    def test_value_clamped_to_unit_interval(self):
+        opinion = LocalOpinion()
+        opinion.record(5.0, smoothing=0.5)
+        assert opinion.value == 1.0
+        opinion.record(-3.0, smoothing=0.5)
+        assert 0.0 <= opinion.value <= 1.0
+
+    def test_variance_zero_for_constant_samples(self):
+        opinion = LocalOpinion()
+        for _ in range(10):
+            opinion.record(1.0, smoothing=0.3)
+        assert opinion.variance == pytest.approx(0.0)
+
+    def test_variance_positive_for_mixed_samples(self):
+        opinion = LocalOpinion()
+        for value in (1.0, 0.0, 1.0, 0.0):
+            opinion.record(value, smoothing=0.3)
+        assert opinion.variance > 0.0
+
+    def test_quality_zero_before_any_interaction(self):
+        assert LocalOpinion().quality == 0.0
+
+    def test_quality_grows_with_consistent_interactions(self):
+        opinion = LocalOpinion()
+        qualities = []
+        for _ in range(20):
+            opinion.record(1.0, smoothing=0.3)
+            qualities.append(opinion.quality)
+        assert qualities[-1] > qualities[0]
+        assert qualities[-1] <= 1.0
+
+    def test_quality_lower_for_erratic_behaviour(self):
+        steady = LocalOpinion()
+        erratic = LocalOpinion()
+        for index in range(20):
+            steady.record(1.0, smoothing=0.3)
+            erratic.record(float(index % 2), smoothing=0.3)
+        assert erratic.quality < steady.quality
+
+
+class TestOpinionBook:
+    def test_records_per_subject(self):
+        book = OpinionBook(owner=1)
+        book.record_interaction(2, 1.0)
+        book.record_interaction(3, 0.0)
+        assert len(book) == 2
+        assert set(book.subjects()) == {2, 3}
+
+    def test_opinion_about_unknown_subject_is_none(self):
+        assert OpinionBook(owner=1).opinion_about(9) is None
+
+    def test_repeated_interactions_update_same_opinion(self):
+        book = OpinionBook(owner=1, smoothing=0.5)
+        book.record_interaction(2, 1.0)
+        book.record_interaction(2, 0.0)
+        opinion = book.opinion_about(2)
+        assert opinion is not None
+        assert opinion.interactions == 2
+        assert opinion.value == pytest.approx(0.5)
+
+
+class TestOpinionEntropy:
+    def test_maximal_at_half(self):
+        assert opinion_entropy(0.5) == pytest.approx(1.0)
+
+    def test_small_near_extremes(self):
+        assert opinion_entropy(0.001) < 0.05
+        assert opinion_entropy(0.999) < 0.05
+
+
+class TestCredibility:
+    def test_initial_credibility_for_unknown_reporter(self):
+        table = CredibilityTable(initial_credibility=0.4)
+        assert table.credibility_of(7) == pytest.approx(0.4)
+
+    def test_agreement_raises_credibility(self):
+        table = CredibilityTable(initial_credibility=0.5, gain=0.2)
+        for _ in range(10):
+            table.update(reporter=1, reported_value=0.9, aggregate=0.9)
+        assert table.credibility_of(1) > 0.8
+
+    def test_disagreement_lowers_credibility(self):
+        table = CredibilityTable(initial_credibility=0.5, gain=0.2)
+        for _ in range(10):
+            table.update(reporter=1, reported_value=0.0, aggregate=1.0)
+        assert table.credibility_of(1) < 0.2
+
+    def test_update_returns_new_value(self):
+        table = CredibilityTable()
+        value = table.update(reporter=3, reported_value=1.0, aggregate=1.0)
+        assert value == table.credibility_of(3)
+
+    def test_record_counts_reports(self):
+        record = CredibilityRecord(value=0.5)
+        record.update(agreement=1.0, gain=0.1)
+        record.update(agreement=0.0, gain=0.1)
+        assert record.reports == 2
+
+    def test_credibility_stays_in_unit_interval(self):
+        record = CredibilityRecord(value=0.5)
+        for agreement in (1.5, -0.5, 1.0, 0.0):
+            record.update(agreement, gain=0.9)
+            assert 0.0 <= record.value <= 1.0
+
+    def test_known_reporters_listing(self):
+        table = CredibilityTable()
+        table.update(1, 1.0, 1.0)
+        table.update(2, 0.0, 1.0)
+        assert set(table.known_reporters()) == {1, 2}
+        assert len(table) == 2

@@ -1,0 +1,220 @@
+"""Tests for ROCQ score managers and the replicated reputation store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overlay.assignment import ScoreManagerAssignment
+from repro.overlay.ring import ChordRing
+from repro.rocq.protocol import AdjustmentKind, FeedbackReport, ReputationAdjustment
+from repro.rocq.score_manager import ReputationRecord, ScoreManager
+from repro.rocq.store import ReputationStore
+
+
+class TestReputationRecord:
+    def test_first_report_adopts_value(self):
+        record = ReputationRecord()
+        record.apply_report(1.0, weight=0.1, time=1.0)
+        assert record.value == pytest.approx(1.0)
+
+    def test_reports_move_value_by_weight(self):
+        record = ReputationRecord(value=1.0, reports=1)
+        record.apply_report(0.0, weight=0.25, time=2.0)
+        assert record.value == pytest.approx(0.75)
+
+    def test_value_clamped(self):
+        record = ReputationRecord(value=0.9, reports=1)
+        record.apply_adjustment(0.5, time=1.0)
+        assert record.value == 1.0
+        record.apply_adjustment(-2.0, time=2.0)
+        assert record.value == 0.0
+
+    def test_adjustment_returns_amount_actually_applied(self):
+        record = ReputationRecord(value=0.95, reports=1)
+        applied = record.apply_adjustment(0.2, time=1.0)
+        assert applied == pytest.approx(0.05)
+        applied = record.apply_adjustment(-0.1, time=2.0)
+        assert applied == pytest.approx(-0.1)
+
+    def test_snapshot_round_trip(self):
+        record = ReputationRecord(value=0.42, reports=3, adjustments=1, last_update=9.0)
+        rebuilt = ReputationRecord.from_snapshot(record.snapshot())
+        assert rebuilt == record
+
+
+class TestScoreManager:
+    def test_unknown_subject_has_no_reputation(self):
+        manager = ScoreManager(manager_id=1)
+        assert manager.reputation_of(5) is None
+        assert not manager.has_record(5)
+
+    def test_receive_report_creates_record(self):
+        manager = ScoreManager(manager_id=1)
+        value = manager.receive_report(
+            FeedbackReport(reporter=2, subject=5, value=1.0, quality=0.5, time=1.0)
+        )
+        assert manager.has_record(5)
+        assert value == manager.reputation_of(5)
+
+    def test_repeated_positive_reports_drive_reputation_up(self):
+        manager = ScoreManager(manager_id=1)
+        manager.set_reputation(5, 0.1)
+        for time in range(1, 60):
+            manager.receive_report(
+                FeedbackReport(reporter=2, subject=5, value=1.0, quality=0.8,
+                               time=float(time))
+            )
+        assert manager.reputation_of(5) > 0.8
+
+    def test_repeated_negative_reports_drive_reputation_down(self):
+        manager = ScoreManager(manager_id=1)
+        manager.set_reputation(5, 0.9)
+        for time in range(1, 60):
+            manager.receive_report(
+                FeedbackReport(reporter=2, subject=5, value=0.0, quality=0.8,
+                               time=float(time))
+            )
+        assert manager.reputation_of(5) < 0.2
+
+    def test_low_credibility_reporters_have_less_influence(self):
+        with_credibility = ScoreManager(manager_id=1, use_credibility=True)
+        without_credibility = ScoreManager(manager_id=2, use_credibility=False)
+        # Reporter 9 destroys its credibility by always disagreeing with the
+        # aggregate built by reporter 3; reporter 3 keeps agreeing with it.
+        for manager in (with_credibility, without_credibility):
+            for time in range(1, 40):
+                manager.receive_report(
+                    FeedbackReport(reporter=3, subject=7, value=1.0, quality=0.9,
+                                   time=float(time))
+                )
+                manager.receive_report(
+                    FeedbackReport(reporter=9, subject=7, value=0.0, quality=0.9,
+                                   time=float(time))
+                )
+        low_cred = with_credibility.credibility.credibility_of(9)
+        high_cred = with_credibility.credibility.credibility_of(3)
+        assert low_cred < high_cred
+        # Credibility weighting keeps the aggregate closer to the credible
+        # reporter's view than plain unweighted averaging does.
+        assert (
+            with_credibility.reputation_of(7) > without_credibility.reputation_of(7)
+        )
+        assert with_credibility.reputation_of(7) > 0.5
+
+    def test_adjustments_follow_protocol_messages(self):
+        manager = ScoreManager(manager_id=1)
+        manager.set_reputation(4, 0.5)
+        applied = manager.receive_adjustment(
+            ReputationAdjustment(
+                kind=AdjustmentKind.LEND_DEBIT, issuer=4, subject=4, delta=-0.1, time=1.0
+            )
+        )
+        assert applied == pytest.approx(-0.1)
+        assert manager.reputation_of(4) == pytest.approx(0.4)
+
+    def test_quality_weighting_can_be_disabled(self):
+        with_quality = ScoreManager(manager_id=1, use_quality=True)
+        without_quality = ScoreManager(manager_id=2, use_quality=False)
+        for manager in (with_quality, without_quality):
+            manager.set_reputation(3, 0.5)
+            manager.receive_report(
+                FeedbackReport(reporter=1, subject=3, value=1.0, quality=0.1, time=1.0)
+            )
+        # Ignoring the low quality makes the report move the value further.
+        assert without_quality.reputation_of(3) > with_quality.reputation_of(3)
+
+    def test_export_and_install_record(self):
+        source = ScoreManager(manager_id=1)
+        target = ScoreManager(manager_id=2)
+        source.set_reputation(5, 0.77, time=4.0)
+        snapshot = source.export_record(5)
+        assert snapshot is not None
+        target.install_record(5, snapshot)
+        assert target.reputation_of(5) == pytest.approx(0.77)
+
+    def test_install_keeps_freshest_copy(self):
+        manager = ScoreManager(manager_id=1)
+        manager.set_reputation(5, 0.9, time=10.0)
+        manager.install_record(5, {"value": 0.1, "reports": 1, "adjustments": 0,
+                                   "last_update": 2.0})
+        assert manager.reputation_of(5) == pytest.approx(0.9)
+
+
+class TestFeedbackReportValidation:
+    def test_rejects_out_of_range_value(self):
+        with pytest.raises(ValueError):
+            FeedbackReport(reporter=1, subject=2, value=1.5, quality=0.5, time=0.0)
+
+    def test_rejects_out_of_range_quality(self):
+        with pytest.raises(ValueError):
+            FeedbackReport(reporter=1, subject=2, value=0.5, quality=-0.1, time=0.0)
+
+
+class TestReputationStore:
+    def test_default_reputation_for_unknown_subject(self, store_with_ring):
+        assert store_with_ring.global_reputation(999) == pytest.approx(0.0)
+
+    def test_set_and_query_reputation(self, store_with_ring):
+        store_with_ring.set_reputation(3, 0.8)
+        assert store_with_ring.global_reputation(3) == pytest.approx(0.8)
+
+    def test_reports_update_all_replicas(self, store_with_ring):
+        report = FeedbackReport(reporter=1, subject=4, value=1.0, quality=0.7, time=1.0)
+        store_with_ring.submit_report(report)
+        values = store_with_ring.replica_values(4)
+        assert len(values) == len(store_with_ring.managers_for(4))
+        assert all(value > 0.0 for value in values)
+
+    def test_adjustment_mean_applied(self, store_with_ring):
+        store_with_ring.set_reputation(2, 0.5)
+        applied = store_with_ring.apply_adjustment(
+            ReputationAdjustment(
+                kind=AdjustmentKind.LEND_CREDIT, issuer=1, subject=2, delta=0.2, time=1.0
+            )
+        )
+        assert applied == pytest.approx(0.2)
+        assert store_with_ring.global_reputation(2) == pytest.approx(0.7)
+
+    def test_median_combination(self):
+        ring = ChordRing()
+        for peer_id in range(6):
+            ring.join(peer_id)
+        assignment = ScoreManagerAssignment(ring=ring, num_score_managers=3)
+        store = ReputationStore(assignment=assignment, combine="median")
+        store.set_reputation(0, 0.6)
+        assert store.global_reputation(0) == pytest.approx(0.6)
+
+    def test_assignment_cache_invalidation(self, store_with_ring):
+        before = store_with_ring.managers_for(1)
+        ring = store_with_ring.assignment.ring
+        for peer_id in range(100, 130):
+            ring.join(peer_id)
+        # Without invalidation the cached assignment is returned.
+        assert store_with_ring.managers_for(1) == before
+        store_with_ring.invalidate_assignments()
+        after = store_with_ring.managers_for(1)
+        assert set(after) != set(before) or after == before  # recomputed, may differ
+
+    def test_drop_manager_forgets_records(self, store_with_ring):
+        store_with_ring.set_reputation(5, 0.9)
+        managers = store_with_ring.managers_for(5)
+        for manager in managers:
+            store_with_ring.drop_manager(manager)
+        # All replicas gone: the default reputation applies again.
+        assert store_with_ring.global_reputation(5) == pytest.approx(0.0)
+
+    def test_counters_track_deliveries(self, store_with_ring):
+        store_with_ring.submit_report(
+            FeedbackReport(reporter=1, subject=2, value=1.0, quality=0.5, time=0.0)
+        )
+        store_with_ring.apply_adjustment(
+            ReputationAdjustment(
+                kind=AdjustmentKind.SANCTION, issuer=2, subject=2, delta=-1.0, time=0.0
+            )
+        )
+        assert store_with_ring.reports_delivered > 0
+        assert store_with_ring.adjustments_delivered > 0
+
+    def test_install_record_requires_snapshot_dict(self, store_with_ring):
+        with pytest.raises(TypeError):
+            store_with_ring.install_record(1, 2, record="not-a-dict")
