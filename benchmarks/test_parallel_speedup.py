@@ -1,0 +1,97 @@
+"""Bench P — wall-clock of the process backend vs serial on a multi-point sweep.
+
+Runs the same four-point arrival-rate sweep twice — once serially, once on a
+process pool — asserts the results are bit-identical, and (on multi-core
+machines) that the process backend is faster in wall-clock terms.  The
+per-run horizon is sized so the sweep takes a couple of seconds serially,
+which dwarfs process start-up costs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.config import SimulationParameters
+from repro.parallel import ProcessExecutor
+from repro.workloads.sweep import ParameterSweep, SweepPoint
+
+
+def build_sweep() -> ParameterSweep:
+    base = SimulationParameters(
+        num_initial_peers=80,
+        num_transactions=8_000,
+        arrival_rate=0.02,
+        waiting_period=200.0,
+        sample_interval=1_000.0,
+        audit_transactions=5,
+        seed=7,
+    )
+    points = [
+        SweepPoint(label=f"rate-{rate:g}", x=rate, overrides={"arrival_rate": rate})
+        for rate in (0.005, 0.01, 0.02, 0.04)
+    ]
+    return ParameterSweep(name="parallel_bench", base=base, points=points, repeats=1)
+
+
+def comparable(result) -> list[str]:
+    documents = []
+    for point in result.points:
+        for summary in result.summaries_at(point.label):
+            document = summary.to_dict()
+            document.pop("elapsed_seconds")  # wall clock differs per backend
+            # JSON text keeps NaN samples comparable (NaN != NaN as floats).
+            documents.append(json.dumps(document, sort_keys=True))
+    return documents
+
+
+def effective_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def test_process_backend_matches_serial_and_beats_it_on_multicore():
+    sweep = build_sweep()
+
+    start = time.perf_counter()
+    serial = sweep.run()
+    serial_seconds = time.perf_counter() - start
+
+    jobs = min(4, effective_cpus())
+    executor = ProcessExecutor(jobs)
+    start = time.perf_counter()
+    parallel = sweep.run(executor=executor)
+    parallel_seconds = time.perf_counter() - start
+    executor.close()
+
+    assert comparable(serial) == comparable(parallel)
+
+    print(
+        f"\nserial: {serial_seconds:.2f}s  "
+        f"process x{jobs}: {parallel_seconds:.2f}s  "
+        f"speedup: {serial_seconds / parallel_seconds:.2f}x"
+    )
+    if jobs < 2:
+        pytest.skip("single-CPU machine: speedup is not measurable")
+    # With >= 2 effective cores and seconds of per-point work the pool
+    # overhead is noise, so no speedup almost always means the machine is
+    # contended (shared CI runner, throttling) rather than the backend being
+    # broken — record that as xfail instead of failing the whole suite on a
+    # wall-clock measurement.  Set REPRO_BENCH_STRICT=1 to fail hard.
+    if parallel_seconds >= serial_seconds * 0.95 and not os.environ.get(
+        "REPRO_BENCH_STRICT"
+    ):
+        pytest.xfail(
+            f"no wall-clock speedup on this machine "
+            f"({parallel_seconds:.2f}s vs {serial_seconds:.2f}s serial, "
+            f"{jobs} jobs) — contended or virtualised CPU"
+        )
+    assert parallel_seconds < serial_seconds * 0.95, (
+        f"process backend ({parallel_seconds:.2f}s) should beat serial "
+        f"({serial_seconds:.2f}s) with {jobs} jobs"
+    )

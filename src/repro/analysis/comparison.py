@@ -11,7 +11,7 @@ benchmark suite report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 __all__ = ["CheckResult", "ShapeCheck", "evaluate_checks", "monotonic", "roughly_flat"]

@@ -1,16 +1,31 @@
-"""Shared sweep over the amount of reputation lent (Figures 4 and 5)."""
+"""Shared sweep over the amount of reputation lent (Figures 4 and 5).
+
+Both figures plot the *same* simulations, so the sweep is defined once under
+one canonical name.  The name feeds the per-run seed derivation, which means
+Figure 4 and Figure 5 resolve to identical (params, seed) pairs: within one
+invocation the runner shares the sweep outcome outright, and across
+invocations the run cache recognises the runs no matter which figure
+computed them first.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 from ..config import SimulationParameters
-from ..workloads.sweep import ParameterSweep, SweepPoint, SweepResult
+from ..workloads.sweep import ParameterSweep, SweepPoint
 
-__all__ = ["LENT_AMOUNTS", "build_lent_sweep", "run_lent_sweep"]
+__all__ = ["LENT_AMOUNTS", "LENT_SWEEP_NAME", "build_lent_sweep"]
 
 #: introAmt values plotted on the x axis of Figures 4 and 5.
 LENT_AMOUNTS = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45)
+
+#: Canonical sweep name shared by Figure 4 and Figure 5 (seed derivation and
+#: run-cache keys depend on it, so both figures resolve to the same
+#: simulations).  The historic "figure4" name is kept so the seed stream —
+#: and therefore every recorded figure4 result — stays bit-identical to
+#: releases where Figure 4 ran the sweep under its own experiment id.
+LENT_SWEEP_NAME = "figure4"
 
 
 def build_lent_sweep(
@@ -18,7 +33,7 @@ def build_lent_sweep(
     amounts: Sequence[float],
     scale: float,
     repeats: int,
-    name: str = "lent_amount",
+    name: str = LENT_SWEEP_NAME,
 ) -> ParameterSweep:
     """Build the introAmt sweep shared by Figure 4 and Figure 5.
 
@@ -36,15 +51,3 @@ def build_lent_sweep(
     return ParameterSweep(
         name=name, base=base, points=points, repeats=repeats, scale=scale
     )
-
-
-def run_lent_sweep(
-    base: SimulationParameters,
-    amounts: Sequence[float],
-    scale: float,
-    repeats: int,
-    progress: Callable[[str], None] | None = None,
-    name: str = "lent_amount",
-) -> SweepResult:
-    """Run the shared introAmt sweep."""
-    return build_lent_sweep(base, amounts, scale, repeats, name=name).run(progress=progress)

@@ -4,12 +4,17 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from ..analysis.comparison import CheckResult, ShapeCheck, evaluate_checks
 from ..analysis.plotting import ascii_plot
 from ..analysis.tables import format_table
 from ..config import SimulationParameters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from ..parallel.cache import RunCache
+    from ..parallel.executor import Executor
+    from ..workloads.sweep import ParameterSweep, SweepResult
 
 __all__ = ["ExperimentResult", "Experiment"]
 
@@ -123,6 +128,14 @@ class Experiment(abc.ABC):
         Master seed for reproducibility.
     base_params:
         Optional replacement for the paper-default base configuration.
+    executor:
+        Optional :class:`~repro.parallel.executor.Executor` the experiment's
+        sweeps run on; ``None`` runs every simulation serially.  Results are
+        identical either way — each run's seed is derived from its (sweep,
+        point, repeat) identity, never from execution order.
+    cache:
+        Optional :class:`~repro.parallel.cache.RunCache`; sweeps skip any
+        (params, seed) run the cache already holds.
     """
 
     experiment_id: str = "experiment"
@@ -136,6 +149,8 @@ class Experiment(abc.ABC):
         repeats: int = 3,
         seed: int = 1,
         base_params: SimulationParameters | None = None,
+        executor: "Executor | None" = None,
+        cache: "RunCache | None" = None,
     ) -> None:
         self.scale = scale
         self.repeats = repeats
@@ -143,6 +158,8 @@ class Experiment(abc.ABC):
         self.base_params = (
             base_params if base_params is not None else SimulationParameters(seed=seed)
         )
+        self.executor = executor
+        self.cache = cache
 
     # ------------------------------------------------------------------ #
     # Contract                                                             #
@@ -172,6 +189,14 @@ class Experiment(abc.ABC):
     # ------------------------------------------------------------------ #
     # Helpers for subclasses                                               #
     # ------------------------------------------------------------------ #
+    def _run_sweep(
+        self,
+        sweep: "ParameterSweep",
+        progress: Callable[[str], None] | None = None,
+    ) -> "SweepResult":
+        """Run ``sweep`` on the experiment's executor and run cache."""
+        return sweep.run(progress=progress, executor=self.executor, cache=self.cache)
+
     def _scaled_base(self) -> SimulationParameters:
         """The base configuration with the experiment's scale applied."""
         if self.scale == 1.0:

@@ -49,7 +49,7 @@ class Figure1Growth(Experiment):
             repeats=self.repeats,
             scale=self.scale,
         )
-        outcome = sweep.run(progress=progress)
+        outcome = self._run_sweep(sweep, progress=progress)
         for topology, label in _SERIES_LABELS.items():
             coop = outcome.averaged_timeseries(
                 topology.value, lambda s: s.cooperative_count

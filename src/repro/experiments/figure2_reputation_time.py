@@ -56,7 +56,7 @@ class Figure2ReputationOverTime(Experiment):
             repeats=self.repeats,
             scale=self.scale,
         )
-        outcome = sweep.run(progress=progress)
+        outcome = self._run_sweep(sweep, progress=progress)
         for rate in self.arrival_rates:
             label = f"rate-{rate:g}"
             series = outcome.averaged_timeseries(

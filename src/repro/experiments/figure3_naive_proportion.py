@@ -57,7 +57,7 @@ class Figure3NaiveProportion(Experiment):
             repeats=self.repeats,
             scale=self.scale,
         )
-        outcome = sweep.run(progress=progress)
+        outcome = self._run_sweep(sweep, progress=progress)
         result.series["Cooperative Peers"] = [
             (x, mean)
             for x, mean, _ in outcome.series(lambda s: float(s.final_cooperative))

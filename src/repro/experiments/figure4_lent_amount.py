@@ -19,7 +19,7 @@ from typing import Callable, Sequence
 
 from ..analysis.comparison import ShapeCheck, monotonic, roughly_flat
 from ..workloads.sweep import SweepResult
-from ._lent_sweep import LENT_AMOUNTS, run_lent_sweep
+from ._lent_sweep import LENT_AMOUNTS, build_lent_sweep
 from .base import Experiment, ExperimentResult
 
 __all__ = ["Figure4LentAmount"]
@@ -43,14 +43,10 @@ class Figure4LentAmount(Experiment):
         result = self._new_result()
         # The paper fixes the reward at 20 % of the stake for this sweep.
         base = self.base_params
-        outcome = run_lent_sweep(
-            base=base,
-            amounts=self.amounts,
-            scale=self.scale,
-            repeats=self.repeats,
-            progress=progress,
-            name=self.experiment_id,
-        )
+        # Run under the canonical shared sweep name so Figure 5 (and the run
+        # cache) resolve to the exact same (params, seed) simulations.
+        sweep = build_lent_sweep(base, self.amounts, self.scale, self.repeats)
+        outcome = self._run_sweep(sweep, progress=progress)
         self.sweep_result = outcome
         result.series["Cooperative Peers"] = [
             (x, mean)

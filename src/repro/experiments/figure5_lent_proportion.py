@@ -13,7 +13,7 @@ from typing import Callable, Sequence
 
 from ..analysis.comparison import ShapeCheck, roughly_flat
 from ..workloads.sweep import SweepResult
-from ._lent_sweep import LENT_AMOUNTS, run_lent_sweep
+from ._lent_sweep import LENT_AMOUNTS, build_lent_sweep
 from .base import Experiment, ExperimentResult
 
 __all__ = ["Figure5LentProportion"]
@@ -43,14 +43,13 @@ class Figure5LentProportion(Experiment):
         result = self._new_result()
         outcome = self.shared_sweep
         if outcome is None:
-            outcome = run_lent_sweep(
-                base=self.base_params,
-                amounts=self.amounts,
-                scale=self.scale,
-                repeats=self.repeats,
-                progress=progress,
-                name=self.experiment_id,
+            # Same canonical sweep name as Figure 4: when a run cache is
+            # active this re-resolves to Figure 4's simulations even if
+            # Figure 4 never ran (or ran in a different invocation).
+            sweep = build_lent_sweep(
+                self.base_params, self.amounts, self.scale, self.repeats
             )
+            outcome = self._run_sweep(sweep, progress=progress)
         else:
             result.notes.append("reused the simulation runs of figure4 (same sweep)")
         coop = outcome.series(lambda s: float(s.final_cooperative))

@@ -4,12 +4,38 @@ Usage from Python::
 
     from repro.experiments import run_all, render_report
 
-    results = run_all(scale=0.05, repeats=2, seed=1)
+    results = run_all(scale=0.05, repeats=2, seed=1, jobs=4)
     print(render_report(results))
 
 or from the command line::
 
     python -m repro.experiments.runner --scale 0.05 --repeats 2 --out results/
+
+Parallel execution
+------------------
+Each experiment expands its parameter sweep into a batch of
+:class:`~repro.parallel.specs.RunSpec` objects — one fully resolved
+(parameters, seed) pair per repeat of each sweep point — and submits the
+batch to an executor from :mod:`repro.parallel`.  ``--jobs N`` selects how
+many simulations run concurrently and ``--backend`` picks the concurrency
+model:
+
+``serial``
+    Everything inline in this process (the default for ``--jobs 1``).
+``thread``
+    A thread pool; useful once run bodies release the GIL.
+``process``
+    A :class:`concurrent.futures.ProcessPoolExecutor` (the default for
+    ``--jobs`` > 1); the backend that scales sweeps across CPU cores.
+
+Because every spec carries a seed derived deterministically from its (sweep
+name, point label, repeat index) identity, results are **bit-identical**
+across backends and job counts.
+
+``--cache-dir DIR`` additionally persists every completed run, keyed by
+(parameter fingerprint, seed), so repeated invocations — and experiments
+that share simulations, like Figures 4 and 5 — skip runs that were already
+computed, in any order.
 """
 
 from __future__ import annotations
@@ -22,6 +48,8 @@ from typing import Callable, Mapping, Type
 from ..analysis.storage import ResultStore
 from ..analysis.tables import format_markdown_table
 from ..config import SimulationParameters
+from ..parallel.cache import RunCache
+from ..parallel.executor import BACKENDS, Executor, create_executor
 from .base import Experiment, ExperimentResult
 from .figure1_growth import Figure1Growth
 from .figure2_reputation_time import Figure2ReputationOverTime
@@ -47,23 +75,50 @@ EXPERIMENTS: dict[str, Type[Experiment]] = {
 }
 
 
+def _require_known(experiment_id: str) -> Type[Experiment]:
+    """The registered experiment class, or a helpful KeyError."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from exc
+
+
 def make_experiment(
     experiment_id: str,
     scale: float = 0.1,
     repeats: int = 3,
     seed: int = 1,
     base_params: SimulationParameters | None = None,
+    executor: Executor | None = None,
+    cache: RunCache | None = None,
 ) -> Experiment:
     """Instantiate the experiment registered under ``experiment_id``."""
-    try:
-        experiment_cls = EXPERIMENTS[experiment_id]
-    except KeyError as exc:
-        raise KeyError(
-            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
-        ) from exc
+    experiment_cls = _require_known(experiment_id)
     return experiment_cls(
-        scale=scale, repeats=repeats, seed=seed, base_params=base_params
+        scale=scale,
+        repeats=repeats,
+        seed=seed,
+        base_params=base_params,
+        executor=executor,
+        cache=cache,
     )
+
+
+def _execution_order(selected: list[str]) -> list[str]:
+    """Selected ids in execution order: figure4 always precedes figure5.
+
+    Figure 5 reuses Figure 4's sweep outcome, which only exists once Figure 4
+    has run — so when both are requested, figure4 is moved directly in front
+    of figure5 no matter how the ids were ordered.  Results are re-assembled
+    in the requested order afterwards.
+    """
+    order = list(selected)
+    if "figure4" in order and "figure5" in order:
+        order.remove("figure4")
+        order.insert(order.index("figure5"), "figure4")
+    return order
 
 
 def run_all(
@@ -74,30 +129,55 @@ def run_all(
     store: ResultStore | None = None,
     progress: Callable[[str], None] | None = None,
     base_params: SimulationParameters | None = None,
+    jobs: int = 1,
+    backend: str | None = None,
+    cache: RunCache | Path | str | None = None,
 ) -> dict[str, ExperimentResult]:
     """Run the selected experiments (all by default) and validate each.
 
-    Figure 5 reuses Figure 4's simulation runs when both are requested, since
-    they share the exact same sweep.
+    ``jobs`` and ``backend`` configure the parallel executor shared by every
+    experiment (see the module docstring); results are identical for any
+    combination.  ``cache`` (a :class:`RunCache` or a directory) skips
+    simulations whose (params, seed) pair was already computed.
+
+    Figure 5 reuses Figure 4's simulation runs when both are requested —
+    regardless of the order the ids appear in ``only`` — since they share
+    the exact same sweep.  The returned mapping preserves the requested
+    order.
     """
-    selected = list(EXPERIMENTS) if only is None else list(only)
-    results: dict[str, ExperimentResult] = {}
-    figure4_instance: Figure4LentAmount | None = None
+    selected = list(EXPERIMENTS) if only is None else list(dict.fromkeys(only))
     for experiment_id in selected:
-        experiment = make_experiment(
-            experiment_id, scale=scale, repeats=repeats, seed=seed, base_params=base_params
-        )
-        if isinstance(experiment, Figure4LentAmount):
-            figure4_instance = experiment
-        if isinstance(experiment, Figure5LentProportion) and figure4_instance is not None:
-            experiment.shared_sweep = figure4_instance.sweep_result
-        if progress is not None:
-            progress(f"running {experiment_id} ...")
-        result = experiment.run_and_validate(progress=progress)
-        results[experiment_id] = result
-        if store is not None:
-            store.save_json(experiment_id, result.to_dict())
-    return results
+        _require_known(experiment_id)
+    executor = create_executor(backend, jobs)
+    if cache is not None and not isinstance(cache, RunCache):
+        cache = RunCache(cache)
+    completed: dict[str, ExperimentResult] = {}
+    figure4_instance: Figure4LentAmount | None = None
+    try:
+        for experiment_id in _execution_order(selected):
+            experiment = make_experiment(
+                experiment_id,
+                scale=scale,
+                repeats=repeats,
+                seed=seed,
+                base_params=base_params,
+                executor=executor,
+                cache=cache,
+            )
+            if isinstance(experiment, Figure4LentAmount):
+                figure4_instance = experiment
+            if isinstance(experiment, Figure5LentProportion):
+                if figure4_instance is not None:
+                    experiment.shared_sweep = figure4_instance.sweep_result
+            if progress is not None:
+                progress(f"running {experiment_id} ...")
+            result = experiment.run_and_validate(progress=progress)
+            completed[experiment_id] = result
+            if store is not None:
+                store.save_json(experiment_id, result.to_dict())
+    finally:
+        executor.close()
+    return {experiment_id: completed[experiment_id] for experiment_id in selected}
 
 
 def render_report(results: Mapping[str, ExperimentResult]) -> str:
@@ -110,7 +190,9 @@ def render_report(results: Mapping[str, ExperimentResult]) -> str:
         summary_rows.append(
             [experiment_id, result.title, f"{passed}/{total}" if total else "n/a"]
         )
-    lines.append(format_markdown_table(["id", "experiment", "checks passed"], summary_rows))
+    lines.append(
+        format_markdown_table(["id", "experiment", "checks passed"], summary_rows)
+    )
     lines.append("")
     for experiment_id, result in results.items():
         lines.append(f"## {experiment_id} — {result.title}")
@@ -149,18 +231,56 @@ def render_report(results: Mapping[str, ExperimentResult]) -> str:
 def main(argv: list[str] | None = None) -> int:
     """Command-line entry point (``python -m repro.experiments.runner``)."""
     parser = argparse.ArgumentParser(description="Reproduce the paper's experiments")
-    parser.add_argument("--scale", type=float, default=0.1,
-                        help="fraction of the paper's 500k-transaction horizon")
-    parser.add_argument("--repeats", type=int, default=3,
-                        help="independent repetitions per sweep point")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="fraction of the paper's 500k-transaction horizon",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="independent repetitions per sweep point",
+    )
     parser.add_argument("--seed", type=int, default=1, help="master seed")
-    parser.add_argument("--only", nargs="*", default=None,
-                        help="subset of experiment ids to run")
-    parser.add_argument("--out", type=Path, default=None,
-                        help="directory for JSON results and the Markdown report")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="subset of experiment ids to run",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory for JSON results and the Markdown report",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="simulations to run concurrently (1 = serial)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help="executor backend (default: serial for --jobs 1, process otherwise)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=(
+            "persist completed runs here, keyed by (params fingerprint, seed), "
+            "and skip any run already present"
+        ),
+    )
     args = parser.parse_args(argv)
 
     store = ResultStore(args.out) if args.out is not None else None
+    cache = RunCache(args.cache_dir) if args.cache_dir is not None else None
     results = run_all(
         scale=args.scale,
         repeats=args.repeats,
@@ -168,6 +288,9 @@ def main(argv: list[str] | None = None) -> int:
         only=args.only,
         store=store,
         progress=lambda message: print(message, file=sys.stderr),
+        jobs=args.jobs,
+        backend=args.backend,
+        cache=cache,
     )
     report = render_report(results)
     print(report)
@@ -175,6 +298,12 @@ def main(argv: list[str] | None = None) -> int:
         report_path = store.root / "report.md"
         report_path.write_text(report, encoding="utf-8")
         print(f"(report written to {report_path})", file=sys.stderr)
+    if cache is not None:
+        print(
+            f"(run cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+            f"under {cache.store.root})",
+            file=sys.stderr,
+        )
     failures = sum(
         1
         for result in results.values()

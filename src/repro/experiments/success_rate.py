@@ -46,7 +46,7 @@ class SuccessRateExperiment(Experiment):
             repeats=self.repeats,
             scale=self.scale,
         )
-        outcome = sweep.run(progress=progress)
+        outcome = self._run_sweep(sweep, progress=progress)
         for index, (mode, label) in enumerate(_LABELS.items()):
             rate, std = outcome.mean_metric(mode.value, lambda s: s.success_rate)
             result.scalars[f"success rate — {label}"] = rate

@@ -169,3 +169,50 @@ class RunSummary:
             "uncooperative_count": self.uncooperative_count.to_dict(),
             "elapsed_seconds": self.elapsed_seconds,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunSummary":
+        """Rebuild a summary produced by :meth:`to_dict`.
+
+        Used by the run cache (:class:`repro.parallel.cache.RunCache`) to
+        rehydrate persisted runs; raises ``KeyError`` on missing fields so a
+        stale document is detected rather than silently zero-filled.
+        """
+        return cls(
+            params=SimulationParameters.from_dict(data["params"]),
+            seed=int(data["seed"]),
+            final_cooperative=int(data["final_cooperative"]),
+            final_uncooperative=int(data["final_uncooperative"]),
+            final_waiting=int(data["final_waiting"]),
+            final_rejected=int(data["final_rejected"]),
+            arrivals_cooperative=int(data["arrivals_cooperative"]),
+            arrivals_uncooperative=int(data["arrivals_uncooperative"]),
+            admitted_cooperative=int(data["admitted_cooperative"]),
+            admitted_uncooperative=int(data["admitted_uncooperative"]),
+            refusals={str(k): int(v) for k, v in data["refusals"].items()},
+            refused_due_to_introducer_reputation=int(
+                data["refused_due_to_introducer_reputation"]
+            ),
+            refused_uncooperative_by_selective=int(
+                data["refused_uncooperative_by_selective"]
+            ),
+            transactions_attempted=int(data["transactions_attempted"]),
+            transactions_served=int(data["transactions_served"]),
+            transactions_denied=int(data["transactions_denied"]),
+            success_rate=float(data["success_rate"]),
+            introductions_granted=int(data["introductions_granted"]),
+            audits_passed=int(data["audits_passed"]),
+            audits_failed=int(data["audits_failed"]),
+            total_reputation_lent=float(data["total_reputation_lent"]),
+            total_rewards_paid=float(data["total_rewards_paid"]),
+            total_stakes_lost=float(data["total_stakes_lost"]),
+            cooperative_reputation=TimeSeries.from_dict(
+                data["cooperative_reputation"]
+            ),
+            uncooperative_reputation=TimeSeries.from_dict(
+                data["uncooperative_reputation"]
+            ),
+            cooperative_count=TimeSeries.from_dict(data["cooperative_count"]),
+            uncooperative_count=TimeSeries.from_dict(data["uncooperative_count"]),
+            elapsed_seconds=float(data["elapsed_seconds"]),
+        )

@@ -10,11 +10,11 @@ can be measured.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
 
 from ..errors import UnknownPeerError
-from ..ids import KEY_SPACE_BITS, PeerId, peer_key
+from ..ids import KEY_SPACE_BITS, PeerId
 from .hashing import in_interval
 from .node import OverlayNode
 

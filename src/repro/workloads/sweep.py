@@ -5,6 +5,12 @@ set of parameter overrides applied to a base configuration), repeating every
 point ``repeats`` times with independent seeds, and returns a
 :class:`SweepResult` that can aggregate any :class:`~repro.metrics.summary.RunSummary`
 attribute across the repeats.
+
+Rather than looping over runs inline, the sweep describes every (point,
+repeat) pair as a :class:`~repro.parallel.specs.RunSpec` and submits the
+batch to an executor from :mod:`repro.parallel`, so the same sweep can run
+serially, on a thread pool, or across worker processes — with bit-identical
+results, because each spec carries its own deterministically derived seed.
 """
 
 from __future__ import annotations
@@ -16,8 +22,10 @@ from typing import Any, Callable, Mapping, Sequence
 from ..config import SimulationParameters
 from ..metrics.summary import RunSummary
 from ..metrics.timeseries import TimeSeries
+from ..parallel.cache import RunCache
+from ..parallel.executor import Executor, run_specs
+from ..parallel.specs import RunSpec
 from ..rng import derive_seed
-from ..sim.engine import run_simulation
 
 __all__ = ["SweepPoint", "SweepResult", "ParameterSweep", "aggregate_mean", "average_series"]
 
@@ -134,24 +142,51 @@ class ParameterSweep:
             params = params.scaled(self.scale)
         return params
 
-    def run(self, progress: Callable[[str], None] | None = None) -> SweepResult:
-        """Execute the sweep and return its result.
+    def build_specs(self) -> list[RunSpec]:
+        """One :class:`RunSpec` per (point, repeat), in deterministic order.
 
-        ``progress`` (if given) receives a short human-readable message before
-        each individual simulation run; the experiment CLI uses it to show
-        what is happening during long sweeps.
+        The seed of each spec is derived from (master seed, sweep name, point
+        label, repeat index) — the exact derivation the serial harness always
+        used — so executing the specs with any backend reproduces the serial
+        results bit for bit.
         """
         repeats = self.repeats if self.repeats is not None else self.base.repeats
-        summaries: dict[str, list[RunSummary]] = {}
+        specs: list[RunSpec] = []
         for point in self.points:
             params = self.params_for(point)
-            runs: list[RunSummary] = []
             for repeat in range(repeats):
                 seed = derive_seed(self.base.seed, self.name, point.label, repeat)
-                if progress is not None:
-                    progress(
-                        f"[{self.name}] point={point.label} repeat={repeat + 1}/{repeats}"
+                specs.append(
+                    RunSpec(
+                        params=params,
+                        seed=seed,
+                        sweep=self.name,
+                        label=point.label,
+                        repeat=repeat,
+                        total_repeats=repeats,
                     )
-                runs.append(run_simulation(params, seed=seed))
-            summaries[point.label] = runs
+                )
+        return specs
+
+    def run(
+        self,
+        progress: Callable[[str], None] | None = None,
+        executor: Executor | None = None,
+        cache: RunCache | None = None,
+    ) -> SweepResult:
+        """Execute the sweep and return its result.
+
+        ``progress`` (if given) receives a short human-readable message for
+        each individual simulation run; the experiment CLI uses it to show
+        what is happening during long sweeps.  ``executor`` selects the
+        concurrency backend (``None`` runs serially) and ``cache`` skips
+        (params, seed) pairs that were already computed.
+        """
+        specs = self.build_specs()
+        outcomes = run_specs(specs, executor=executor, cache=cache, progress=progress)
+        summaries: dict[str, list[RunSummary]] = {
+            point.label: [] for point in self.points
+        }
+        for spec, summary in zip(specs, outcomes):
+            summaries[spec.label].append(summary)
         return SweepResult(name=self.name, points=list(self.points), summaries=summaries)

@@ -1,0 +1,212 @@
+"""Tests for the parallel execution subsystem (executors, cache, determinism)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import SimulationParameters
+from repro.experiments import run_all
+from repro.metrics.summary import RunSummary
+from repro.parallel import (
+    CACHE_VERSION,
+    ProcessExecutor,
+    RunCache,
+    RunSpec,
+    SerialExecutor,
+    ThreadExecutor,
+    create_executor,
+    execute_spec,
+    params_fingerprint,
+    run_specs,
+)
+from repro.workloads.sweep import ParameterSweep, SweepPoint
+
+#: A minuscule configuration so each simulation takes ~50 ms.
+TINY = SimulationParameters(
+    num_initial_peers=40,
+    num_transactions=800,
+    arrival_rate=0.02,
+    waiting_period=100.0,
+    sample_interval=200.0,
+    audit_transactions=3,
+    seed=11,
+)
+
+
+def tiny_sweep(name: str = "tiny", repeats: int = 1) -> ParameterSweep:
+    points = [
+        SweepPoint(label=f"rate-{rate:g}", x=rate, overrides={"arrival_rate": rate})
+        for rate in (0.01, 0.03)
+    ]
+    return ParameterSweep(name=name, base=TINY, points=points, repeats=repeats)
+
+
+def canonical(summary) -> str:
+    """NaN-safe comparable form of a RunSummary (JSON keeps NaN == NaN)."""
+    document = summary.to_dict()
+    document.pop("elapsed_seconds")  # wall clock differs per backend
+    return json.dumps(document, sort_keys=True)
+
+
+def summary_dicts(result) -> list[str]:
+    """Comparable forms of a SweepResult's summaries, in point order."""
+    return [
+        canonical(summary)
+        for point in result.points
+        for summary in result.summaries_at(point.label)
+    ]
+
+
+class TestCreateExecutor:
+    def test_default_is_serial_for_one_job(self):
+        assert isinstance(create_executor(None, 1), SerialExecutor)
+
+    def test_default_is_process_for_many_jobs(self):
+        executor = create_executor(None, 3)
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.jobs == 3
+
+    def test_explicit_backends(self):
+        assert create_executor("serial", 4).backend == "serial"
+        assert create_executor("thread", 4).backend == "thread"
+        assert create_executor("process", 4).backend == "process"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            create_executor("gpu", 4)
+
+
+class TestRunSpec:
+    def test_fingerprint_depends_on_params_not_identity(self):
+        a = SimulationParameters(seed=1)
+        b = SimulationParameters(seed=1)
+        c = SimulationParameters(seed=1, arrival_rate=0.5)
+        assert params_fingerprint(a) == params_fingerprint(b)
+        assert params_fingerprint(a) != params_fingerprint(c)
+
+    def test_cache_key_varies_with_seed_and_version(self):
+        assert RunCache.key_for(TINY, 1) != RunCache.key_for(TINY, 2)
+        assert f"v{CACHE_VERSION}" in RunCache.key_for(TINY, 1)
+
+    def test_describe_mentions_point_and_repeat(self):
+        spec = RunSpec(
+            params=TINY, seed=1, sweep="s", label="p", repeat=1, total_repeats=4
+        )
+        assert "[s]" in spec.describe()
+        assert "point=p" in spec.describe()
+        assert "repeat=2/4" in spec.describe()
+
+
+class TestBackendDeterminism:
+    def test_thread_and_process_match_serial(self):
+        sweep = tiny_sweep(repeats=2)
+        serial = sweep.run()
+        threaded = sweep.run(executor=ThreadExecutor(2))
+        processed = sweep.run(executor=ProcessExecutor(2))
+        assert summary_dicts(serial) == summary_dicts(threaded)
+        assert summary_dicts(serial) == summary_dicts(processed)
+
+    def test_run_all_jobs_match_serial(self):
+        serial = run_all(
+            scale=1.0, repeats=1, seed=11, only=["figure1"], base_params=TINY, jobs=1
+        )
+        parallel = run_all(
+            scale=1.0, repeats=1, seed=11, only=["figure1"], base_params=TINY, jobs=4
+        )
+        assert json.dumps(serial["figure1"].to_dict(), sort_keys=True) == json.dumps(
+            parallel["figure1"].to_dict(), sort_keys=True
+        )
+
+
+class TestRunCache:
+    def test_roundtrip(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = tiny_sweep().build_specs()[0]
+        summary = execute_spec(spec)
+        cache.put(spec.params, spec.seed, summary)
+        restored = cache.get(spec.params, spec.seed)
+        assert restored is not None
+        assert canonical(restored) == canonical(summary)
+
+    def test_get_counts_hits_and_misses(self, tmp_path):
+        cache = RunCache(tmp_path)
+        assert cache.get(TINY, seed=5) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_corrupt_document_is_a_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        path = cache.store.path_for(cache.key_for(TINY, 5))
+        path.write_text('{"params": {}}', encoding="utf-8")
+        assert cache.get(TINY, seed=5) is None
+
+    def test_sweep_second_run_is_all_hits(self, tmp_path):
+        sweep = tiny_sweep(repeats=2)
+        first_cache = RunCache(tmp_path)
+        first = sweep.run(cache=first_cache)
+        assert first_cache.hits == 0
+        assert first_cache.misses == len(sweep.build_specs())
+        second_cache = RunCache(tmp_path)
+        second = sweep.run(cache=second_cache)
+        assert second_cache.misses == 0
+        assert second_cache.hits == len(sweep.build_specs())
+        assert summary_dicts(first) == summary_dicts(second)
+
+    def test_run_specs_mixes_cached_and_fresh(self, tmp_path):
+        specs = tiny_sweep(repeats=2).build_specs()
+        cache = RunCache(tmp_path)
+        warm = run_specs(specs[:2], cache=cache)
+        full = run_specs(specs, cache=cache)
+        assert [canonical(s) for s in full[:2]] == [canonical(s) for s in warm]
+        assert cache.hits == 2
+
+
+class TestRunAllOrderingAndSharing:
+    def test_figure5_reuses_figure4_when_requested_after(self):
+        results = run_all(
+            scale=1.0,
+            repeats=1,
+            seed=11,
+            only=["figure5", "figure4"],
+            base_params=TINY,
+        )
+        assert list(results) == ["figure5", "figure4"]
+        assert any("reused" in note for note in results["figure5"].notes)
+
+    def test_figure5_hits_figure4_cache_across_invocations(self, tmp_path):
+        run_all(
+            scale=1.0,
+            repeats=1,
+            seed=11,
+            only=["figure4"],
+            base_params=TINY,
+            cache=RunCache(tmp_path),
+        )
+        cache = RunCache(tmp_path)
+        run_all(
+            scale=1.0,
+            repeats=1,
+            seed=11,
+            only=["figure5"],
+            base_params=TINY,
+            cache=cache,
+        )
+        assert cache.misses == 0
+        assert cache.hits > 0
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_all(only=["figure99"], base_params=TINY)
+
+
+class TestRunSummarySerialisation:
+    def test_from_dict_roundtrip(self):
+        spec = tiny_sweep().build_specs()[0]
+        summary = execute_spec(spec)
+        restored = RunSummary.from_dict(summary.to_dict())
+        assert canonical(restored) == canonical(summary)
+
+    def test_from_dict_rejects_missing_fields(self):
+        with pytest.raises(KeyError):
+            RunSummary.from_dict({"seed": 1})
