@@ -19,9 +19,44 @@ from .errors import ConfigurationError
 __all__ = [
     "Topology",
     "BootstrapMode",
+    "REPUTATION_SCHEMES",
+    "parse_reputation_scheme",
     "SimulationParameters",
     "PAPER_DEFAULTS",
 ]
+
+#: Canonical names of the pluggable reputation backends.  ``rocq`` is the
+#: paper's scheme (the replicated score-manager store); the others are the
+#: baseline systems from :mod:`repro.reputation` adapted to run inside the
+#: full discrete-event simulation.  The registry in
+#: :mod:`repro.reputation.backend` must provide a factory for every name
+#: listed here (a test keeps the two in sync).
+REPUTATION_SCHEMES = (
+    "rocq",
+    "eigentrust",
+    "beta",
+    "tit_for_tat",
+    "complaints",
+    "positive_only",
+)
+
+_SCHEME_ALIASES = {
+    "eigen_trust": "eigentrust",
+    "tft": "tit_for_tat",
+    "positive": "positive_only",
+    "complaints_based": "complaints",
+}
+
+
+def parse_reputation_scheme(value: str) -> str:
+    """Normalise a scheme name, raising on anything the registry cannot build."""
+    text = str(value).strip().lower().replace("-", "_")
+    text = _SCHEME_ALIASES.get(text, text)
+    if text not in REPUTATION_SCHEMES:
+        raise ConfigurationError(
+            f"unknown reputation scheme: {value!r}; known: {list(REPUTATION_SCHEMES)}"
+        )
+    return text
 
 
 class Topology(str, Enum):
@@ -166,6 +201,11 @@ class SimulationParameters:
     # ------------------------------------------------------------------ #
     # Harness controls                                                     #
     # ------------------------------------------------------------------ #
+    #: Which reputation backend the simulation runs on (see
+    #: :data:`REPUTATION_SCHEMES`).  ``rocq`` is the paper's scheme; the
+    #: baseline names swap in the systems from :mod:`repro.reputation` so the
+    #: comparative claims can be evaluated under the full dynamics.
+    reputation_scheme: str = "rocq"
     bootstrap_mode: BootstrapMode = BootstrapMode.LENDING
     #: Initial credit granted under ``BootstrapMode.FIXED_CREDIT``.
     fixed_initial_credit: float = 0.3
@@ -186,6 +226,11 @@ class SimulationParameters:
         object.__setattr__(self, "topology", Topology.parse(self.topology))
         object.__setattr__(
             self, "bootstrap_mode", BootstrapMode.parse(self.bootstrap_mode)
+        )
+        object.__setattr__(
+            self,
+            "reputation_scheme",
+            parse_reputation_scheme(self.reputation_scheme),
         )
         self.validate()
 

@@ -30,7 +30,7 @@ from ..config import BootstrapMode, SimulationParameters
 from ..errors import DuplicateIntroductionError
 from ..ids import PeerId
 from ..peers.peer import Peer
-from ..rocq.store import ReputationStore
+from ..reputation.backend import ReputationBackend
 from ..topology.base import TopologyModel
 from .bootstrap import BootstrapStrategy, make_bootstrap_strategy
 from .introduction import (
@@ -77,7 +77,7 @@ class AdmissionController:
 
     params: SimulationParameters
     topology: TopologyModel
-    store: ReputationStore
+    store: ReputationBackend
     lending: LendingManager
     rng: np.random.Generator
     registry: IntroductionRegistry = field(init=False)

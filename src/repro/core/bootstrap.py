@@ -19,8 +19,8 @@ from dataclasses import dataclass
 
 from ..config import BootstrapMode, SimulationParameters
 from ..ids import PeerId
+from ..reputation.backend import ReputationBackend
 from ..rocq.protocol import AdjustmentKind, ReputationAdjustment
-from ..rocq.store import ReputationStore
 
 __all__ = [
     "BootstrapStrategy",
@@ -38,7 +38,7 @@ class BootstrapStrategy(abc.ABC):
 
     @abc.abstractmethod
     def grant_initial_standing(
-        self, store: ReputationStore, entrant: PeerId, time: float
+        self, store: ReputationBackend, entrant: PeerId, time: float
     ) -> None:
         """Install whatever initial reputation the mode grants the entrant."""
 
@@ -56,7 +56,7 @@ class LendingBootstrap(BootstrapStrategy):
     name: str = "lending"
 
     def grant_initial_standing(
-        self, store: ReputationStore, entrant: PeerId, time: float
+        self, store: ReputationBackend, entrant: PeerId, time: float
     ) -> None:
         return None
 
@@ -69,7 +69,7 @@ class OpenBootstrap(BootstrapStrategy):
     name: str = "open"
 
     def grant_initial_standing(
-        self, store: ReputationStore, entrant: PeerId, time: float
+        self, store: ReputationBackend, entrant: PeerId, time: float
     ) -> None:
         store.set_reputation(entrant, self.initial_reputation, time)
 
@@ -87,7 +87,7 @@ class FixedCreditBootstrap(BootstrapStrategy):
     name: str = "fixed_credit"
 
     def grant_initial_standing(
-        self, store: ReputationStore, entrant: PeerId, time: float
+        self, store: ReputationBackend, entrant: PeerId, time: float
     ) -> None:
         store.apply_adjustment(
             ReputationAdjustment(

@@ -14,8 +14,8 @@ from dataclasses import dataclass, field
 
 from ..config import SimulationParameters
 from ..ids import PeerId
+from ..reputation.backend import ReputationBackend
 from ..rocq.protocol import AdjustmentKind, ReputationAdjustment
-from ..rocq.store import ReputationStore
 from .audit import AuditOutcome, AuditResult, evaluate_audit
 
 __all__ = ["LendingContract", "LendingStats", "LendingManager"]
@@ -64,7 +64,7 @@ class LendingStats:
 class LendingManager:
     """Implements the lend / audit / settle cycle over the reputation store."""
 
-    store: ReputationStore
+    store: ReputationBackend
     params: SimulationParameters
     stats: LendingStats = field(default_factory=LendingStats)
     _contracts: dict[PeerId, LendingContract] = field(default_factory=dict)

@@ -18,6 +18,7 @@ Experiment identifiers (see DESIGN.md §3):
 ``figure4`` Figure 4 — final counts and refusals vs amount of reputation lent
 ``figure5`` Figure 5 — final proportions vs amount of reputation lent
 ``figure6`` Figure 6 — final counts and refusals vs freerider arrival fraction
+``scheme_comparison`` cross-backend newcomer/whitewashing table (ours)
 =========  ==========================================================
 """
 
@@ -30,6 +31,7 @@ from .figure3_naive_proportion import Figure3NaiveProportion
 from .figure4_lent_amount import Figure4LentAmount
 from .figure5_lent_proportion import Figure5LentProportion
 from .figure6_freerider_fraction import Figure6FreeriderFraction
+from .scheme_comparison import SchemeComparison
 from .runner import EXPERIMENTS, make_experiment, run_all, render_report
 
 __all__ = [
@@ -43,6 +45,7 @@ __all__ = [
     "Figure4LentAmount",
     "Figure5LentProportion",
     "Figure6FreeriderFraction",
+    "SchemeComparison",
     "EXPERIMENTS",
     "make_experiment",
     "run_all",

@@ -40,6 +40,9 @@ class ExperimentResult:
     params: SimulationParameters | None = None
     #: Shape-check outcomes filled in by :meth:`Experiment.validate`.
     checks: list[CheckResult] = field(default_factory=list)
+    #: Optional display labels for x values (categorical sweeps, e.g. the
+    #: scheme-comparison experiment, label rows instead of showing indices).
+    x_ticks: dict[float, str] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Rendering                                                            #
@@ -52,7 +55,7 @@ class ExperimentResult:
         }
         rows: list[list[object]] = []
         for x in xs:
-            row: list[object] = [x]
+            row: list[object] = [self.x_ticks.get(x, x)]
             for name in self.series:
                 row.append(lookup[name].get(x, float("nan")))
             rows.append(row)
@@ -101,6 +104,7 @@ class ExperimentResult:
             "scalars": dict(self.scalars),
             "notes": list(self.notes),
             "params": self.params.to_dict() if self.params is not None else None,
+            "x_ticks": {str(x): label for x, label in self.x_ticks.items()},
             "checks": [
                 {"name": c.name, "passed": c.passed, "detail": c.detail}
                 for c in self.checks

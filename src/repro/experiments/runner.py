@@ -35,7 +35,18 @@ across backends and job counts.
 ``--cache-dir DIR`` additionally persists every completed run, keyed by
 (parameter fingerprint, seed), so repeated invocations — and experiments
 that share simulations, like Figures 4 and 5 — skip runs that were already
-computed, in any order.
+computed, in any order.  The fingerprint covers every parameter, including
+``reputation_scheme``, so runs of different backends never collide.
+
+Scenarios and schemes
+---------------------
+``--scenario NAME`` resolves the base parameters through the scenario
+registry (:mod:`repro.workloads.registry`; ``--list-scenarios`` prints the
+catalogue) and ``--scheme NAME`` swaps the reputation backend the
+simulations run on, e.g.::
+
+    python -m repro.experiments.runner \
+        --only scheme_comparison --scenario tiny_test --jobs 2
 """
 
 from __future__ import annotations
@@ -47,9 +58,11 @@ from typing import Callable, Mapping, Type
 
 from ..analysis.storage import ResultStore
 from ..analysis.tables import format_markdown_table
-from ..config import SimulationParameters
+from ..config import REPUTATION_SCHEMES, SimulationParameters
+from ..errors import ConfigurationError
 from ..parallel.cache import RunCache
 from ..parallel.executor import BACKENDS, Executor, create_executor
+from ..workloads.registry import available_scenarios, get_scenario
 from .base import Experiment, ExperimentResult
 from .figure1_growth import Figure1Growth
 from .figure2_reputation_time import Figure2ReputationOverTime
@@ -57,12 +70,14 @@ from .figure3_naive_proportion import Figure3NaiveProportion
 from .figure4_lent_amount import Figure4LentAmount
 from .figure5_lent_proportion import Figure5LentProportion
 from .figure6_freerider_fraction import Figure6FreeriderFraction
+from .scheme_comparison import SchemeComparison
 from .success_rate import SuccessRateExperiment
 from .table1_parameters import Table1Parameters
 
 __all__ = ["EXPERIMENTS", "make_experiment", "run_all", "render_report", "main"]
 
-#: Registry of every experiment, in the order the paper presents them.
+#: Registry of every experiment: the paper's artefacts in presentation order,
+#: then the reproduction's own additions (the cross-scheme comparison).
 EXPERIMENTS: dict[str, Type[Experiment]] = {
     "table1": Table1Parameters,
     "figure1": Figure1Growth,
@@ -72,6 +87,7 @@ EXPERIMENTS: dict[str, Type[Experiment]] = {
     "figure4": Figure4LentAmount,
     "figure5": Figure5LentProportion,
     "figure6": Figure6FreeriderFraction,
+    "scheme_comparison": SchemeComparison,
 }
 
 
@@ -234,8 +250,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--scale",
         type=float,
-        default=0.1,
-        help="fraction of the paper's 500k-transaction horizon",
+        default=None,
+        help=(
+            "fraction of the base horizon (default: 0.1 of the paper's 500k "
+            "transactions, or 1.0 when --scenario already sizes the run)"
+        ),
     )
     parser.add_argument(
         "--repeats",
@@ -277,17 +296,67 @@ def main(argv: list[str] | None = None) -> int:
             "and skip any run already present"
         ),
     )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        help=(
+            "base parameters from a named scenario in "
+            "repro.workloads.registry (see --list-scenarios)"
+        ),
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the registered scenario names and exit",
+    )
+    parser.add_argument(
+        "--scheme",
+        default=None,
+        help=(
+            "reputation backend for the base parameters "
+            f"(one of: {', '.join(REPUTATION_SCHEMES)})"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.list_scenarios:
+        for name, description in sorted(available_scenarios().items()):
+            print(f"{name:22s} {description}")
+        return 0
+
+    base_params: SimulationParameters | None = None
+    if args.scenario is not None:
+        try:
+            base_params = get_scenario(args.scenario, seed=args.seed)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+    if args.scheme is not None:
+        try:
+            base_params = (
+                base_params
+                if base_params is not None
+                else SimulationParameters(seed=args.seed)
+            ).with_overrides(reputation_scheme=args.scheme)
+        except ConfigurationError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    # A named scenario is already sized; only the paper-default base needs the
+    # laptop-friendly 0.1 downscale.
+    scale = args.scale if args.scale is not None else (
+        1.0 if args.scenario is not None else 0.1
+    )
 
     store = ResultStore(args.out) if args.out is not None else None
     cache = RunCache(args.cache_dir) if args.cache_dir is not None else None
     results = run_all(
-        scale=args.scale,
+        scale=scale,
         repeats=args.repeats,
         seed=args.seed,
         only=args.only,
         store=store,
         progress=lambda message: print(message, file=sys.stderr),
+        base_params=base_params,
         jobs=args.jobs,
         backend=args.backend,
         cache=cache,

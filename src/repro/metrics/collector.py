@@ -8,7 +8,7 @@ from ..core.audit import AuditResult
 from ..core.introduction import RefusalReason
 from ..peers.peer import Peer
 from ..peers.population import Population
-from ..rocq.store import ReputationStore
+from ..reputation.backend import ReputationBackend
 from .success_rate import SuccessRateTracker
 from .timeseries import TimeSeries
 
@@ -123,7 +123,7 @@ class MetricsCollector:
     # ------------------------------------------------------------------ #
     # Sampling                                                              #
     # ------------------------------------------------------------------ #
-    def sample(self, time: float, population: Population, store: ReputationStore) -> None:
+    def sample(self, time: float, population: Population, store: ReputationBackend) -> None:
         """Take one periodic snapshot of reputations and peer counts."""
         coop_values = []
         uncoop_values = []

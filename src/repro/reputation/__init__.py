@@ -10,9 +10,12 @@ vector.  This package implements those baselines behind a single
 bootstrap problem can be studied side by side with the lending mechanism
 (see :mod:`repro.reputation.comparison`).
 
-These systems operate on explicit interaction logs and are intentionally
-decoupled from the simulator's ROCQ/score-manager machinery: they are
-analytical comparators, not drop-in replacements for the DHT-backed store.
+The systems operate on explicit interaction logs; through the pluggable
+backend layer (:mod:`repro.reputation.backend` and the adapters in
+:mod:`repro.reputation.adapters`) every one of them can additionally be run
+*inside* the full discrete-event simulation — churn, arrivals, lending,
+whitewashers, colluders — by setting
+``SimulationParameters.reputation_scheme``.
 """
 
 from .base import InteractionLog, ReputationSystem
@@ -22,6 +25,13 @@ from .positive_only import PositiveOnlyReputation
 from .beta import BetaReputation
 from .tit_for_tat import TitForTatCredit
 from .comparison import NewcomerReport, compare_newcomer_treatment
+from .backend import (
+    ReputationBackend,
+    available_schemes,
+    make_reputation_backend,
+    register_backend,
+)
+from .adapters import LogReputationBackend
 
 __all__ = [
     "InteractionLog",
@@ -33,4 +43,9 @@ __all__ = [
     "TitForTatCredit",
     "NewcomerReport",
     "compare_newcomer_treatment",
+    "ReputationBackend",
+    "LogReputationBackend",
+    "available_schemes",
+    "make_reputation_backend",
+    "register_backend",
 ]

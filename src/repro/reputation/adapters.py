@@ -1,0 +1,162 @@
+"""Adapters that run the log-based baseline systems inside the simulator.
+
+The baseline :class:`~repro.reputation.base.ReputationSystem` implementations
+consume a log of rated interactions and produce a score per peer — nothing
+more.  The engine, however, speaks the richer
+:class:`~repro.reputation.backend.ReputationBackend` protocol: it installs
+founder reputations, applies lending debits/credits and sanctions, and asks
+for reputations on every transaction.  :class:`LogReputationBackend` bridges
+the two:
+
+* feedback reports are folded into the wrapped system's interaction log
+  (``value >= 0.5`` counts as a satisfied interaction, matching how the
+  simulator's behaviours encode honesty and collusion in report values);
+* direct adjustments — which the baseline schemes have no native notion of —
+  are tracked as a per-peer **credit ledger** added on top of the scheme's
+  own score, so reputation lending remains expressible against any backend;
+* ``set_reputation`` pins the *current* total to the requested value by
+  solving for the credit, after which the scheme's own dynamics move the
+  reputation again;
+* expensive schemes refresh their score table every ``refresh_every``
+  reports instead of per query (EigenTrust's power iteration, tit-for-tat's
+  pairwise scan), trading bounded staleness for per-transaction O(1) cost.
+
+Churn hooks are no-ops: the baselines model a centralised log, so there are
+no per-manager replicas to migrate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..ids import PeerId
+from ..rocq.protocol import FeedbackReport, ReputationAdjustment
+from .base import ReputationSystem
+
+__all__ = ["LogReputationBackend"]
+
+
+def _clamp(value: float) -> float:
+    return min(1.0, max(0.0, value))
+
+
+class LogReputationBackend:
+    """A :class:`ReputationSystem` adapted to the ``ReputationBackend`` protocol.
+
+    Parameters
+    ----------
+    system:
+        The wrapped baseline reputation system.
+    scheme:
+        Registry name reported to callers (defaults to ``system.name``).
+    refresh_every:
+        Recompute the cached score table after this many reports.  ``1``
+        selects the *live* path: scores are computed on demand straight from
+        the system, which is the right choice for systems whose per-peer
+        score is O(1).
+    """
+
+    def __init__(
+        self,
+        system: ReputationSystem,
+        scheme: str | None = None,
+        refresh_every: int = 1,
+    ) -> None:
+        if refresh_every < 1:
+            raise ValueError("refresh_every must be >= 1")
+        self.system = system
+        self.scheme = scheme if scheme is not None else system.name
+        self.refresh_every = refresh_every
+        self._credit: dict[PeerId, float] = {}
+        self._table: dict[PeerId, float] = {}
+        self._reports_since_refresh = 0
+        # The score of a peer absent from the log never depends on the log's
+        # contents for any of the shipped systems, so it is computed once.
+        self._newcomer = _clamp(system.newcomer_score())
+        self.reports_delivered = 0
+        self.adjustments_delivered = 0
+
+    # ------------------------------------------------------------------ #
+    # Scores                                                               #
+    # ------------------------------------------------------------------ #
+    def _base_score(self, subject: PeerId) -> float:
+        """The wrapped system's own score for ``subject`` (possibly cached)."""
+        if self.refresh_every == 1:
+            if subject in self.system.log.peers:
+                return self.system.score(subject)
+            return self._newcomer
+        if self._reports_since_refresh >= self.refresh_every:
+            self._table = self.system.score_table()
+            self._reports_since_refresh = 0
+        return self._table.get(subject, self._newcomer)
+
+    def global_reputation(self, subject: PeerId) -> float:
+        """Scheme score plus the adjustment credit, clamped to [0, 1]."""
+        return _clamp(self._base_score(subject) + self._credit.get(subject, 0.0))
+
+    def newcomer_reputation(self) -> float:
+        """The scheme's bootstrap score for a complete stranger."""
+        return self._newcomer
+
+    def has_any_record(self, subject: PeerId) -> bool:
+        """Known from the log, or touched by an adjustment/bootstrap."""
+        return subject in self.system.log.peers or subject in self._credit
+
+    def replica_values(self, subject: PeerId) -> list[float]:
+        """Single-replica view, mirroring the ROCQ store's divergence API."""
+        if not self.has_any_record(subject):
+            return []
+        return [self.global_reputation(subject)]
+
+    # ------------------------------------------------------------------ #
+    # Updates                                                              #
+    # ------------------------------------------------------------------ #
+    def submit_report(self, report: FeedbackReport) -> float:
+        """Fold the report into the wrapped system's interaction log."""
+        self.system.record_interaction(
+            report.reporter, report.subject, satisfied=report.value >= 0.5
+        )
+        self.reports_delivered += 1
+        self._reports_since_refresh += 1
+        return self.global_reputation(report.subject)
+
+    def apply_adjustment(self, adjustment: ReputationAdjustment) -> float:
+        """Move the subject's credit; return the delta actually applied.
+
+        Like the ROCQ store, the applied amount respects the [0, 1] range of
+        the *total* reputation: a debit cannot push it below zero and a
+        credit cannot push it above one.  The stored credit is re-solved
+        against the current base score (not merely incremented), so no
+        hidden surplus survives the clamp — immediately after the call the
+        total equals the clamped target exactly.
+        """
+        base = self._base_score(adjustment.subject)
+        before = _clamp(base + self._credit.get(adjustment.subject, 0.0))
+        target = _clamp(before + adjustment.delta)
+        self._credit[adjustment.subject] = target - base
+        self.adjustments_delivered += 1
+        return target - before
+
+    def set_reputation(self, subject: PeerId, value: float, time: float = 0.0) -> None:
+        """Pin the current total to ``value`` by solving for the credit."""
+        self._credit[subject] = value - self._base_score(subject)
+
+    # ------------------------------------------------------------------ #
+    # Membership / churn protocol (no replicas to maintain)                #
+    # ------------------------------------------------------------------ #
+    def invalidate_assignments(self) -> None:
+        return None
+
+    def tracked_peers(self, manager_id: PeerId) -> Iterable[PeerId]:
+        return ()
+
+    def export_record(self, manager_id: PeerId, subject_id: PeerId) -> object | None:
+        return None
+
+    def install_record(
+        self, manager_id: PeerId, subject_id: PeerId, record: object
+    ) -> None:
+        return None
+
+    def drop_manager(self, manager_id: PeerId) -> None:
+        return None

@@ -1,0 +1,237 @@
+"""The pluggable reputation-backend layer.
+
+:class:`ReputationBackend` is the protocol the simulation engine — and every
+subsystem that used to talk to the ROCQ store directly (lending, admission,
+transactions, metrics) — programs against.  It captures exactly the surface
+the engine exercises:
+
+* **queries** — ``global_reputation``, ``has_any_record``,
+  ``newcomer_reputation``;
+* **updates** — ``submit_report`` (feedback after a transaction),
+  ``apply_adjustment`` (lending debits/credits, audit settlements,
+  sanctions), ``set_reputation`` (bootstrap installs);
+* **membership** — ``invalidate_assignments`` plus the churn hooks of
+  :class:`repro.overlay.churn.ReputationStoreProtocol` so replicated
+  backends survive manager departures.
+
+The module also hosts the **scheme registry**: a name → factory mapping that
+builds a backend from a :class:`~repro.config.SimulationParameters`.  The
+orchestrator holds the scheme *name* (through ``params.reputation_scheme``)
+rather than a concrete instance, so every run spec — and therefore the run
+cache fingerprint — pins down which backend produced its results.
+
+``rocq`` builds the paper's replicated score-manager store; the remaining
+names wrap the baseline systems of this package in
+:class:`~repro.reputation.adapters.LogReputationBackend` so EigenTrust,
+beta reputation, tit-for-tat credit, complaints-based trust and
+positive-only reputation all run inside the full discrete-event simulation
+(churn, arrivals, lending, whitewashers, colluders) instead of only against
+the synthetic offline trace of :mod:`repro.reputation.comparison`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Protocol, runtime_checkable
+
+from ..config import REPUTATION_SCHEMES, SimulationParameters, parse_reputation_scheme
+from ..errors import ConfigurationError
+from ..ids import PeerId
+from ..rocq.protocol import FeedbackReport, ReputationAdjustment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from ..overlay.assignment import ScoreManagerAssignment
+
+__all__ = [
+    "ReputationBackend",
+    "BackendFactory",
+    "register_backend",
+    "available_schemes",
+    "make_reputation_backend",
+]
+
+
+@runtime_checkable
+class ReputationBackend(Protocol):
+    """What the simulation engine requires of a reputation system.
+
+    Implementations additionally expose a ``scheme`` string naming the
+    registry entry they belong to (kept out of the protocol so structural
+    ``isinstance`` checks stay method-based).
+    """
+
+    # -- queries -------------------------------------------------------- #
+    def global_reputation(self, subject: PeerId) -> float:
+        """Current reputation of ``subject`` in [0, 1]."""
+        ...
+
+    def has_any_record(self, subject: PeerId) -> bool:
+        """Whether the backend holds any evidence about ``subject``."""
+        ...
+
+    def newcomer_reputation(self) -> float:
+        """Reputation of a peer the backend has never heard of."""
+        ...
+
+    # -- updates -------------------------------------------------------- #
+    def submit_report(self, report: FeedbackReport) -> float:
+        """Fold one feedback report in; return the subject's new reputation."""
+        ...
+
+    def apply_adjustment(self, adjustment: ReputationAdjustment) -> float:
+        """Apply a direct adjustment; return the amount actually applied."""
+        ...
+
+    def set_reputation(self, subject: PeerId, value: float, time: float = 0.0) -> None:
+        """Install an explicit reputation (founders, bootstrap grants)."""
+        ...
+
+    # -- membership / churn -------------------------------------------- #
+    def invalidate_assignments(self) -> None:
+        """React to an overlay membership change (may be a no-op)."""
+        ...
+
+    def tracked_peers(self, manager_id: PeerId) -> Iterable[PeerId]:
+        """Peers whose reputation ``manager_id`` currently stores."""
+        ...
+
+    def export_record(self, manager_id: PeerId, subject_id: PeerId) -> object | None:
+        """Return the stored record (opaque to callers), or ``None``."""
+        ...
+
+    def install_record(
+        self, manager_id: PeerId, subject_id: PeerId, record: object
+    ) -> None:
+        """Install a migrated record at a new manager."""
+        ...
+
+    def drop_manager(self, manager_id: PeerId) -> None:
+        """Forget all records held by a departed manager."""
+        ...
+
+
+#: A factory builds a backend from resolved parameters plus the overlay's
+#: score-manager assignment (``None`` for backends that do not replicate).
+BackendFactory = Callable[
+    [SimulationParameters, "ScoreManagerAssignment | None"], ReputationBackend
+]
+
+_FACTORIES: dict[str, BackendFactory] = {}
+
+
+def register_backend(scheme: str) -> Callable[[BackendFactory], BackendFactory]:
+    """Class/function decorator registering a factory under ``scheme``."""
+
+    def decorator(factory: BackendFactory) -> BackendFactory:
+        _FACTORIES[scheme] = factory
+        return factory
+
+    return decorator
+
+
+def available_schemes() -> tuple[str, ...]:
+    """Every scheme name a backend factory is registered for."""
+    return tuple(_FACTORIES)
+
+
+def make_reputation_backend(
+    params: SimulationParameters,
+    assignment: "ScoreManagerAssignment | None" = None,
+) -> ReputationBackend:
+    """Build the backend ``params.reputation_scheme`` names.
+
+    ``assignment`` is required by replicated backends (``rocq``); the
+    log-based baselines ignore it.
+    """
+    scheme = parse_reputation_scheme(params.reputation_scheme)
+    factory = _FACTORIES.get(scheme)
+    if factory is None:  # pragma: no cover - config validation catches first
+        raise ConfigurationError(
+            f"no backend factory registered for scheme {scheme!r}; "
+            f"known: {sorted(_FACTORIES)}"
+        )
+    return factory(params, assignment)
+
+
+# --------------------------------------------------------------------- #
+# Built-in factories                                                      #
+# --------------------------------------------------------------------- #
+@register_backend("rocq")
+def _make_rocq(
+    params: SimulationParameters, assignment: "ScoreManagerAssignment | None"
+) -> ReputationBackend:
+    from ..rocq.store import ReputationStore
+
+    if assignment is None:
+        raise ConfigurationError(
+            "the rocq backend replicates records across score managers and "
+            "needs the overlay's ScoreManagerAssignment"
+        )
+    return ReputationStore(
+        assignment=assignment,
+        initial_credibility=params.rocq_initial_credibility,
+        credibility_gain=params.rocq_credibility_gain,
+        opinion_smoothing=params.rocq_opinion_smoothing,
+        use_credibility=params.rocq_use_credibility,
+        use_quality=params.rocq_use_quality,
+    )
+
+
+@register_backend("eigentrust")
+def _make_eigentrust(
+    params: SimulationParameters, assignment: "ScoreManagerAssignment | None"
+) -> ReputationBackend:
+    from .adapters import LogReputationBackend
+    from .eigentrust import EigenTrust
+
+    # Power iteration is global work: recompute the score table every 50
+    # reports (periodic recomputation is how deployed EigenTrust runs too).
+    return LogReputationBackend(EigenTrust(), scheme="eigentrust", refresh_every=50)
+
+
+@register_backend("beta")
+def _make_beta(
+    params: SimulationParameters, assignment: "ScoreManagerAssignment | None"
+) -> ReputationBackend:
+    from .adapters import LogReputationBackend
+    from .beta import BetaReputation
+
+    return LogReputationBackend(BetaReputation(), scheme="beta")
+
+
+@register_backend("tit_for_tat")
+def _make_tit_for_tat(
+    params: SimulationParameters, assignment: "ScoreManagerAssignment | None"
+) -> ReputationBackend:
+    from .adapters import LogReputationBackend
+    from .tit_for_tat import TitForTatCredit
+
+    return LogReputationBackend(
+        TitForTatCredit(), scheme="tit_for_tat", refresh_every=25
+    )
+
+
+@register_backend("complaints")
+def _make_complaints(
+    params: SimulationParameters, assignment: "ScoreManagerAssignment | None"
+) -> ReputationBackend:
+    from .adapters import LogReputationBackend
+    from .complaints import ComplaintsBasedTrust
+
+    return LogReputationBackend(ComplaintsBasedTrust(), scheme="complaints")
+
+
+@register_backend("positive_only")
+def _make_positive_only(
+    params: SimulationParameters, assignment: "ScoreManagerAssignment | None"
+) -> ReputationBackend:
+    from .adapters import LogReputationBackend
+    from .positive_only import PositiveOnlyReputation
+
+    return LogReputationBackend(PositiveOnlyReputation(), scheme="positive_only")
+
+
+# Every scheme the configuration layer accepts must be buildable.
+assert set(REPUTATION_SCHEMES) == set(_FACTORIES), (
+    "config.REPUTATION_SCHEMES and the backend registry drifted apart: "
+    f"{sorted(REPUTATION_SCHEMES)} vs {sorted(_FACTORIES)}"
+)

@@ -27,6 +27,29 @@ class InteractionLog:
         default_factory=lambda: defaultdict(int)
     )
     peers: set[PeerId] = field(default_factory=set)
+    # Per-peer aggregates maintained incrementally so the totals below are
+    # O(1) — required once these systems run inside the simulation engine,
+    # where they are queried on every transaction.  Derived state: rebuilt
+    # from the pairwise dicts in __post_init__, never passed in.
+    _positives_received: dict[PeerId, int] = field(
+        init=False, repr=False, compare=False,
+        default_factory=lambda: defaultdict(int),
+    )
+    _negatives_received: dict[PeerId, int] = field(
+        init=False, repr=False, compare=False,
+        default_factory=lambda: defaultdict(int),
+    )
+    _complaints_filed: dict[PeerId, int] = field(
+        init=False, repr=False, compare=False,
+        default_factory=lambda: defaultdict(int),
+    )
+
+    def __post_init__(self) -> None:
+        for (_, subject), count in self.positive.items():
+            self._positives_received[subject] += count
+        for (rater, subject), count in self.negative.items():
+            self._negatives_received[subject] += count
+            self._complaints_filed[rater] += count
 
     def record(self, rater: PeerId, subject: PeerId, satisfied: bool) -> None:
         """Add one rated interaction to the log."""
@@ -35,20 +58,23 @@ class InteractionLog:
         key = (rater, subject)
         if satisfied:
             self.positive[key] += 1
+            self._positives_received[subject] += 1
         else:
             self.negative[key] += 1
+            self._negatives_received[subject] += 1
+            self._complaints_filed[rater] += 1
 
     def positives_about(self, subject: PeerId) -> int:
         """Total satisfied interactions reported about ``subject``."""
-        return sum(count for (_, s), count in self.positive.items() if s == subject)
+        return self._positives_received[subject]
 
     def negatives_about(self, subject: PeerId) -> int:
         """Total unsatisfied interactions reported about ``subject``."""
-        return sum(count for (_, s), count in self.negative.items() if s == subject)
+        return self._negatives_received[subject]
 
     def complaints_by(self, rater: PeerId) -> int:
         """Complaints filed by ``rater`` (used by complaints-based trust)."""
-        return sum(count for (r, _), count in self.negative.items() if r == rater)
+        return self._complaints_filed[rater]
 
     def pair_counts(self, rater: PeerId, subject: PeerId) -> tuple[int, int]:
         """(positive, negative) counts for a specific rater/subject pair."""
@@ -86,3 +112,14 @@ class ReputationSystem(abc.ABC):
     def scores(self) -> dict[PeerId, float]:
         """Scores of every peer seen in the log."""
         return {peer: self.score(peer) for peer in sorted(self.log.peers)}
+
+    def score_table(self) -> dict[PeerId, float]:
+        """Scores of every known peer, computed as one batch.
+
+        Semantically identical to :meth:`scores` but overridable by systems
+        whose per-peer :meth:`score` repeats global work (EigenTrust's power
+        iteration, tit-for-tat's pairwise scan); the simulation adapter in
+        :mod:`repro.reputation.adapters` refreshes its cache through this
+        hook.
+        """
+        return self.scores()

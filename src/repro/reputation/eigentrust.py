@@ -41,6 +41,8 @@ class EigenTrust(ReputationSystem):
         self.damping = damping
         self.max_iterations = max_iterations
         self.tolerance = tolerance
+        #: Last converged trust vector, reused to warm-start :meth:`score_table`.
+        self._warm_trust: dict[PeerId, float] = {}
 
     # ------------------------------------------------------------------ #
     # Trust computation                                                     #
@@ -97,3 +99,32 @@ class EigenTrust(ReputationSystem):
         if maximum <= 0.0:
             return 0.0
         return trust[peer] / maximum
+
+    def score_table(self) -> dict[PeerId, float]:
+        """All scores from a single power iteration, warm-started.
+
+        Computing :meth:`score` per peer would repeat the whole power
+        iteration once per peer; this batch path runs it once and, unlike
+        :meth:`global_trust`, starts from the previously converged vector so
+        successive refreshes (the common case inside the simulation adapter)
+        converge in a handful of iterations.
+        """
+        peers = sorted(self.log.peers)
+        if not peers:
+            return {}
+        matrix = self._local_trust_matrix(peers)
+        pretrust = self._pretrust_distribution(peers)
+        trust = np.array([self._warm_trust.get(peer, 0.0) for peer in peers])
+        total = trust.sum()
+        trust = trust / total if total > 0 else pretrust.copy()
+        for _ in range(self.max_iterations):
+            updated = (1.0 - self.damping) * matrix.T @ trust + self.damping * pretrust
+            if np.abs(updated - trust).sum() < self.tolerance:
+                trust = updated
+                break
+            trust = updated
+        self._warm_trust = {peer: float(value) for peer, value in zip(peers, trust)}
+        maximum = float(trust.max())
+        if maximum <= 0.0:
+            return {peer: 0.0 for peer in peers}
+        return {peer: float(value) / maximum for peer, value in zip(peers, trust)}

@@ -50,6 +50,29 @@ class TitForTatCredit(ReputationSystem):
         """BitTorrent-style decision: serve while the debt is within allowance."""
         return self.balance(server, requester) <= self.allowance
 
+    def score_table(self) -> dict[PeerId, float]:
+        """All scores from one pass over the observed balances.
+
+        Unseen pairs have a zero balance (within any allowance), so only the
+        recorded balances can push a debtor over the limit: counting those
+        per debtor reproduces :meth:`score` in O(observed pairs) instead of
+        O(peers²).
+        """
+        peers = self.log.peers
+        if not peers:
+            return {}
+        over_limit: dict[PeerId, int] = {}
+        for (creditor, debtor), balance in self._balance.items():
+            if balance > self.allowance and creditor != debtor:
+                if creditor in peers and debtor in peers:
+                    over_limit[debtor] = over_limit.get(debtor, 0) + 1
+        others = len(peers) - 1
+        if others <= 0:
+            return {peer: 1.0 for peer in peers}
+        return {
+            peer: (others - over_limit.get(peer, 0)) / others for peer in peers
+        }
+
     def score(self, peer: PeerId) -> float:
         """Fraction of peers in the log that would currently serve ``peer``.
 

@@ -35,7 +35,15 @@ __all__ = ["ReputationStore"]
 
 @dataclass
 class ReputationStore:
-    """Replicated, manager-assigned reputation storage for the whole system."""
+    """Replicated, manager-assigned reputation storage for the whole system.
+
+    This is the ``rocq`` entry of the pluggable backend registry
+    (:mod:`repro.reputation.backend`) and the reference implementation of the
+    ``ReputationBackend`` protocol.
+    """
+
+    #: Registry name of this backend (class attribute, not a dataclass field).
+    scheme = "rocq"
 
     assignment: ScoreManagerAssignment
     initial_credibility: float = 0.5
@@ -106,6 +114,10 @@ class ReputationStore:
         if state is None:
             return None
         return state.reputation_of(subject)
+
+    def newcomer_reputation(self) -> float:
+        """Reputation of a peer with no record anywhere (the paper's 0)."""
+        return self.default_reputation
 
     def has_any_record(self, subject: PeerId) -> bool:
         """Whether at least one manager stores a record for ``subject``."""

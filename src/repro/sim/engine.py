@@ -1,10 +1,17 @@
 """The simulation orchestrator.
 
 :class:`Simulation` wires every subsystem together — population, topology,
-overlay ring, ROCQ store, lending manager, admission controller, metrics —
-and advances simulated time one transaction per unit, processing arrivals,
-delayed admission responses and periodic samples through a discrete-event
-queue exactly as the paper's simulator does.
+overlay ring, reputation backend, lending manager, admission controller,
+metrics — and advances simulated time one transaction per unit, processing
+arrivals, delayed admission responses and periodic samples through a
+discrete-event queue exactly as the paper's simulator does.
+
+The reputation system is pluggable: ``params.reputation_scheme`` selects a
+backend from the registry in :mod:`repro.reputation.backend` (the paper's
+ROCQ store by default; EigenTrust, beta, tit-for-tat, complaints-based and
+positive-only reputation as comparison baselines), and the engine only ever
+talks to it through the :class:`~repro.reputation.backend.ReputationBackend`
+protocol.
 
 Typical use::
 
@@ -31,8 +38,8 @@ from ..overlay.assignment import ScoreManagerAssignment
 from ..overlay.ring import ChordRing
 from ..peers.peer import Peer, PeerStatus
 from ..peers.population import Population
+from ..reputation.backend import make_reputation_backend
 from ..rng import RandomStreams
-from ..rocq.store import ReputationStore
 from ..topology.factory import make_topology
 from .arrivals import ArrivalFactory, PoissonArrivalProcess
 from .clock import SimulationClock
@@ -62,14 +69,7 @@ class Simulation:
         self.assignment = ScoreManagerAssignment(
             ring=self.ring, num_score_managers=params.num_score_managers
         )
-        self.store = ReputationStore(
-            assignment=self.assignment,
-            initial_credibility=params.rocq_initial_credibility,
-            credibility_gain=params.rocq_credibility_gain,
-            opinion_smoothing=params.rocq_opinion_smoothing,
-            use_credibility=params.rocq_use_credibility,
-            use_quality=params.rocq_use_quality,
-        )
+        self.store = make_reputation_backend(params, assignment=self.assignment)
         self.lending = LendingManager(store=self.store, params=params)
         self.admission = AdmissionController(
             params=params,

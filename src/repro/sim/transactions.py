@@ -27,8 +27,8 @@ from ..metrics.collector import MetricsCollector
 from ..peers.behavior import ColluderBehavior
 from ..peers.peer import Peer
 from ..peers.population import Population
+from ..reputation.backend import ReputationBackend
 from ..rocq.protocol import FeedbackReport
-from ..rocq.store import ReputationStore
 from ..topology.base import TopologyModel
 
 __all__ = ["TransactionOutcome", "TransactionEngine"]
@@ -53,12 +53,12 @@ class TransactionOutcome:
 
 @dataclass
 class TransactionEngine:
-    """Executes transactions against the population, topology and ROCQ store."""
+    """Executes transactions against the population, topology and reputation backend."""
 
     params: SimulationParameters
     population: Population
     topology: TopologyModel
-    store: ReputationStore
+    store: ReputationBackend
     lending: LendingManager
     metrics: MetricsCollector
     rng: np.random.Generator

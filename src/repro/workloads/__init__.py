@@ -1,12 +1,16 @@
-"""Workloads: scenario presets and parameter sweeps.
+"""Workloads: scenario presets, the scenario registry, and parameter sweeps.
 
 Scenarios are named :class:`~repro.config.SimulationParameters` presets (the
 paper's Table 1 operating point, laptop-scale variants of it, the baseline
-bootstrap modes, stress configurations).  Sweeps run a simulation repeatedly
-while varying one parameter, averaging over independent repeats — this is the
+bootstrap modes, stress configurations).  The registry
+(:mod:`repro.workloads.registry`) maps stable names to scenario factories so
+orchestration layers — the experiment runner's ``--scenario`` flag, CI smoke
+jobs — resolve presets by name.  Sweeps run a simulation repeatedly while
+varying one parameter, averaging over independent repeats — this is the
 building block every figure-reproducing experiment uses.
 """
 
+from .registry import available_scenarios, get_scenario, register_scenario
 from .scenarios import (
     fixed_credit_baseline,
     high_arrival_stress,
@@ -15,6 +19,7 @@ from .scenarios import (
     paper_default,
     random_topology_variant,
     tiny_test,
+    whitewash_stress,
 )
 from .sweep import ParameterSweep, SweepPoint, SweepResult, aggregate_mean
 
@@ -26,6 +31,10 @@ __all__ = [
     "open_admission_baseline",
     "fixed_credit_baseline",
     "high_arrival_stress",
+    "whitewash_stress",
+    "register_scenario",
+    "get_scenario",
+    "available_scenarios",
     "ParameterSweep",
     "SweepPoint",
     "SweepResult",

@@ -1,0 +1,100 @@
+"""The scenario registry: named workload presets behind one lookup.
+
+Every entry maps a stable name to a **factory** ``(seed) ->
+SimulationParameters`` — the orchestration layers (experiment runner, CLI,
+CI smoke jobs) hold scenario *names*, not concrete parameter objects, and
+resolve them at run time.  This mirrors how the backend registry in
+:mod:`repro.reputation.backend` treats reputation schemes, and is what lets
+``--scenario``/``--list-scenarios`` exist on the runner CLI.
+
+Register additional scenarios with :func:`register_scenario`::
+
+    from repro.workloads.registry import register_scenario
+
+    @register_scenario("my_stress", description="my custom operating point")
+    def _my_stress(seed: int = 1) -> SimulationParameters:
+        return paper_default(seed).with_overrides(arrival_rate=0.5)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import SimulationParameters
+from . import scenarios as _presets
+
+__all__ = [
+    "ScenarioFactory",
+    "register_scenario",
+    "get_scenario",
+    "available_scenarios",
+]
+
+#: A scenario factory builds fully validated parameters for a master seed.
+ScenarioFactory = Callable[[int], SimulationParameters]
+
+_SCENARIOS: dict[str, ScenarioFactory] = {}
+_DESCRIPTIONS: dict[str, str] = {}
+
+
+def register_scenario(
+    name: str, description: str = ""
+) -> Callable[[ScenarioFactory], ScenarioFactory]:
+    """Decorator registering ``factory`` under ``name``.
+
+    Re-registering a name replaces the previous factory, so downstream code
+    (tests, notebooks) can shadow a preset with a tweaked variant.
+    """
+
+    def decorator(factory: ScenarioFactory) -> ScenarioFactory:
+        doc = (factory.__doc__ or "").strip()
+        _SCENARIOS[name] = factory
+        _DESCRIPTIONS[name] = description or (doc.splitlines()[0] if doc else name)
+        return factory
+
+    return decorator
+
+
+def get_scenario(name: str, seed: int = 1) -> SimulationParameters:
+    """Build the parameters of the scenario registered under ``name``."""
+    try:
+        factory = _SCENARIOS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {sorted(_SCENARIOS)}"
+        ) from exc
+    return factory(seed)
+
+
+def available_scenarios() -> dict[str, str]:
+    """Name → one-line description for every registered scenario."""
+    return dict(_DESCRIPTIONS)
+
+
+# --------------------------------------------------------------------- #
+# Built-in presets (from repro.workloads.scenarios)                       #
+# --------------------------------------------------------------------- #
+register_scenario("paper_default", "Table 1 operating point (500k transactions)")(
+    lambda seed=1: _presets.paper_default(seed=seed)
+)
+register_scenario("laptop_scale", "Table 1 at 10% horizon (runs in seconds)")(
+    lambda seed=1: _presets.laptop_scale(seed=seed)
+)
+register_scenario("tiny_test", "sub-second configuration for tests and smoke jobs")(
+    lambda seed=1: _presets.tiny_test(seed=seed)
+)
+register_scenario("random_topology", "Table 1 on the random (uniform) topology")(
+    lambda seed=1: _presets.random_topology_variant(_presets.paper_default(seed=seed))
+)
+register_scenario("open_admission", "no introductions: everyone admitted at 0.5")(
+    lambda seed=1: _presets.open_admission_baseline(_presets.paper_default(seed=seed))
+)
+register_scenario("fixed_credit", "BitTorrent/Scrivener-style flat initial credit")(
+    lambda seed=1: _presets.fixed_credit_baseline(_presets.paper_default(seed=seed))
+)
+register_scenario("high_arrival_stress", "Figure 2 overload: 20x arrival rate")(
+    lambda seed=1: _presets.high_arrival_stress(base=_presets.paper_default(seed=seed))
+)
+register_scenario("whitewash_stress", "attack-heavy mix: 60% freeriding entrants")(
+    lambda seed=1: _presets.whitewash_stress(base=_presets.paper_default(seed=seed))
+)

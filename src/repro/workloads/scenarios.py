@@ -17,6 +17,7 @@ __all__ = [
     "open_admission_baseline",
     "fixed_credit_baseline",
     "high_arrival_stress",
+    "whitewash_stress",
 ]
 
 
@@ -77,3 +78,16 @@ def high_arrival_stress(
     """The overload regime of Figure 2: very high new-peer arrival rates."""
     params = base if base is not None else paper_default()
     return params.with_overrides(arrival_rate=arrival_rate)
+
+
+def whitewash_stress(
+    fraction_uncooperative: float = 0.6, base: SimulationParameters | None = None
+) -> SimulationParameters:
+    """An attack-heavy arrival mix: most entrants are freeriders.
+
+    The regime where whitewashing pressure is maximal — the population every
+    bootstrap scheme is ultimately judged against (and the default workload
+    of the cross-scheme comparison experiment).
+    """
+    params = base if base is not None else paper_default()
+    return params.with_overrides(fraction_uncooperative=fraction_uncooperative)

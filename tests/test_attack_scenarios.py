@@ -4,6 +4,11 @@ These exercise the behaviours the paper's discussion worries about — a
 colluding ring inflating each other's reputations, and a freerider discarding
 its identity to re-enter — inside the full simulation engine, using the
 ``Simulation.add_member`` scenario hook.
+
+The second half replays the same attacks with the baseline reputation
+backends swapped in through the scenario registry and
+``reputation_scheme``, checking each scheme fails (or resists) exactly the
+way the paper's taxonomy predicts.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from repro.peers.behavior import (
     WhitewasherBehavior,
 )
 from repro.sim.engine import Simulation
+from repro.workloads.registry import get_scenario
 
 PARAMS = SimulationParameters(
     num_initial_peers=60,
@@ -106,3 +112,87 @@ class TestWhitewashing:
         simulation.step(5)
         assert whitewasher.peer_id not in simulation.ring
         assert whitewasher.peer_id not in simulation.topology
+
+
+def _attack_params(scheme: str, seed: int = 31) -> SimulationParameters:
+    """The attack operating point on a registry scenario, backend swapped."""
+    return get_scenario("tiny_test", seed=seed).with_overrides(
+        reputation_scheme=scheme,
+        arrival_rate=0.0,
+        num_transactions=4_000,
+        num_initial_peers=60,
+        sample_interval=1_000.0,
+        audit_transactions=10,
+    )
+
+
+class TestAttacksUnderBaselineBackends:
+    """Whitewashers and colluders against the non-ROCQ backends."""
+
+    def test_whitewashing_restores_standing_under_complaints_based_trust(self):
+        """Complaints-based trust fully trusts strangers — whitewashing wins.
+
+        This is the §1 failure mode the lending mechanism exists to close:
+        the burned identity is worthless, but a fresh one starts at 1.0.
+        """
+        simulation = Simulation(_attack_params("complaints"), seed=11)
+        simulation.setup()
+        whitewasher = simulation.add_member(
+            WhitewasherBehavior(), initial_reputation=0.5
+        )
+        simulation.step(2_500)
+        burned = simulation.store.global_reputation(whitewasher.peer_id)
+        assert burned < 0.2  # complaints piled up against the identity
+        fresh = simulation.population.create_peer(
+            behavior=WhitewasherBehavior(), arrived_at=simulation.clock.now
+        )
+        fresh_reputation = simulation.store.global_reputation(fresh.peer_id)
+        assert fresh_reputation == pytest.approx(1.0)
+        assert fresh_reputation > burned
+
+    def test_whitewashing_is_pointless_under_positive_only_reputation(self):
+        """Positive-only freezes strangers at the bottom — nothing to gain."""
+        simulation = Simulation(_attack_params("positive_only"), seed=11)
+        simulation.setup()
+        whitewasher = simulation.add_member(
+            WhitewasherBehavior(), initial_reputation=0.5
+        )
+        simulation.step(2_500)
+        burned = simulation.store.global_reputation(whitewasher.peer_id)
+        fresh = simulation.population.create_peer(
+            behavior=WhitewasherBehavior(), arrived_at=simulation.clock.now
+        )
+        fresh_reputation = simulation.store.global_reputation(fresh.peer_id)
+        assert fresh_reputation == pytest.approx(0.0)
+        assert fresh_reputation <= burned  # a fresh identity is never better
+
+    @staticmethod
+    def _beta_accomplice_reputation(with_ring: bool) -> float:
+        simulation = Simulation(_attack_params("beta"), seed=100)
+        simulation.setup()
+        accomplice = simulation.add_member(
+            FreeriderBehavior(), initial_reputation=0.5
+        )
+        if with_ring:
+            ring_ids = {accomplice.peer_id}
+            colluders = []
+            for _ in range(3):
+                colluder = simulation.add_member(
+                    ColluderBehavior(ring=set(ring_ids)),
+                    introducer_policy=NaivePolicy(),
+                    initial_reputation=1.0,
+                )
+                ring_ids.add(colluder.peer_id)
+                colluders.append(colluder)
+            for colluder in colluders:
+                colluder.behavior.ring = frozenset(ring_ids)
+        simulation.step(4_000)
+        return simulation.store.global_reputation(accomplice.peer_id)
+
+    def test_colluders_inflate_an_accomplice_under_beta_reputation(self):
+        control = self._beta_accomplice_reputation(with_ring=False)
+        attacked = self._beta_accomplice_reputation(with_ring=True)
+        # False praise counts as positive evidence in the Beta posterior...
+        assert attacked > control
+        # ...but the honest majority's negatives keep the freerider low.
+        assert attacked < 0.5

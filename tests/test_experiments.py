@@ -14,6 +14,7 @@ from repro.experiments import (
     Figure4LentAmount,
     Figure5LentProportion,
     Figure6FreeriderFraction,
+    SchemeComparison,
     SuccessRateExperiment,
     Table1Parameters,
     make_experiment,
@@ -54,6 +55,7 @@ class TestRegistry:
             "figure4",
             "figure5",
             "figure6",
+            "scheme_comparison",
         }
 
     def test_make_experiment_unknown_id(self):
@@ -158,6 +160,37 @@ class TestFigure6:
         coop = dict(result.series["Cooperative Peers"])
         assert coop[0.0] >= coop[100.0]
         assert "uncooperative arrivals at 100%" in result.scalars
+
+
+class TestSchemeComparison:
+    def test_one_row_per_scheme_with_labels(self):
+        experiment = smoke(SchemeComparison, schemes=("rocq", "complaints", "beta"))
+        result = experiment.run_and_validate()
+        assert len(result.series["Cooperative admission rate"]) == 3
+        assert set(result.x_ticks.values()) == {"rocq", "complaints", "beta"}
+        # The labelled table is what feeds the analysis layer.
+        first_column = [row[0] for row in result.table_rows()]
+        assert first_column == ["rocq", "complaints", "beta"]
+        assert result.all_checks_passed
+
+    def test_lending_vs_most_permissive_baseline(self):
+        experiment = smoke(SchemeComparison, schemes=("rocq", "complaints"))
+        result = experiment.run()
+        uncoop = dict(result.series["Uncooperative admission rate"])
+        # Complaints-based trust admits every stranger under open admission;
+        # lending makes freeriders earn an introduction.
+        assert uncoop[1.0] == pytest.approx(1.0)
+        assert uncoop[0.0] < uncoop[1.0]
+
+    def test_horizon_is_capped_at_paper_scale(self):
+        from repro.experiments.scheme_comparison import MAX_COMPARISON_TRANSACTIONS
+
+        experiment = SchemeComparison(scale=1.0, repeats=1, seed=1)
+        assert (
+            experiment._effective_scale()
+            * experiment.base_params.num_transactions
+            == pytest.approx(MAX_COMPARISON_TRANSACTIONS)
+        )
 
 
 class TestRunnerAndReport:

@@ -90,6 +90,33 @@ class TestRunSpec:
         assert RunCache.key_for(TINY, 1) != RunCache.key_for(TINY, 2)
         assert f"v{CACHE_VERSION}" in RunCache.key_for(TINY, 1)
 
+    def test_fingerprint_changes_when_the_schema_gains_a_field(self):
+        """Guard against silent cache reuse across schema changes.
+
+        The fingerprint is computed over the full serialised parameter set,
+        so *adding* a field to ``SimulationParameters`` — even one left at
+        its default — must produce a different fingerprint; otherwise runs
+        cached before the schema change would be served for configurations
+        the old engine could not even express.
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class ExtendedParameters(SimulationParameters):
+            hypothetical_new_knob: float = 0.0
+
+        base = SimulationParameters(seed=1)
+        extended = ExtendedParameters(seed=1)
+        assert params_fingerprint(base) != params_fingerprint(extended)
+        assert RunCache.key_for(base, 1) != RunCache.key_for(extended, 1)
+
+    def test_reputation_scheme_participates_in_the_fingerprint(self):
+        """Runs of different backends must never collide in the cache."""
+        rocq = SimulationParameters(seed=1)
+        beta = SimulationParameters(seed=1, reputation_scheme="beta")
+        assert params_fingerprint(rocq) != params_fingerprint(beta)
+        assert RunCache.key_for(rocq, 1) != RunCache.key_for(beta, 1)
+
     def test_describe_mentions_point_and_repeat(self):
         spec = RunSpec(
             params=TINY, seed=1, sweep="s", label="p", repeat=1, total_repeats=4
