@@ -1,0 +1,301 @@
+"""Hot-path benchmarks: membership changes, assignment lookups, throughput.
+
+The community-growth experiments sweep thousands of admissions, so the cost
+of one join/leave — ring rewiring plus reputation-store cache invalidation —
+bounds how far any run scales.  This module measures that cost three ways:
+
+* **end-to-end** — full simulation runs of growth-heavy workloads, reported
+  as transactions/sec, once on the legacy membership path (O(n) whole-ring
+  rewiring + blanket cache invalidation, as the seed engine behaved) and
+  once on the incremental path (O(log n) rewiring + targeted invalidation);
+* **ring ops** — join/leave microbenchmarks at several ring sizes;
+* **assignment lookups** — cold vs cached score-manager resolution and the
+  cost of one targeted eviction pass.
+
+Every end-to-end pair also cross-checks determinism: both modes must produce
+bit-identical :class:`~repro.metrics.summary.RunSummary` documents (modulo
+wall-clock time), which is asserted into the report as ``bit_identical``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..config import SimulationParameters
+from ..ids import PeerId
+from ..overlay.assignment import ScoreManagerAssignment
+from ..overlay.ring import ChordRing
+from ..rocq.store import ReputationStore
+from ..sim.engine import run_simulation
+from ..workloads.scenarios import paper_default
+
+__all__ = [
+    "HotpathBenchConfig",
+    "legacy_membership_path",
+    "bench_end_to_end",
+    "bench_ring_ops",
+    "bench_assignment_lookup",
+    "run_hotpath_benchmarks",
+    "write_report",
+]
+
+#: The paper's full horizon; workload sizes are expressed against it.
+_PAPER_HORIZON = 500_000
+
+#: Growth-heavy end-to-end workloads: (name, arrival_rate).  The first is the
+#: paper's Figure 1 operating point; the second raises the arrival rate into
+#: the overload regime so membership changes dominate, which is exactly the
+#: hot path the incremental refactor targets.
+_WORKLOADS: tuple[tuple[str, float], ...] = (
+    ("figure1_growth", 0.01),
+    ("growth_stress", 0.2),
+)
+
+
+@dataclass(frozen=True)
+class HotpathBenchConfig:
+    """Knobs of one benchmark invocation."""
+
+    num_transactions: int = 5_000
+    seed: int = 1
+    ring_sizes: tuple[int, ...] = (1_000, 4_000)
+    churn_ops: int = 200
+    lookup_ring_size: int = 2_000
+    lookups: int = 2_000
+
+    @classmethod
+    def quick(cls) -> "HotpathBenchConfig":
+        """A seconds-scale configuration for CI smoke runs."""
+        return cls(
+            num_transactions=600,
+            ring_sizes=(256,),
+            churn_ops=50,
+            lookup_ring_size=256,
+            lookups=400,
+        )
+
+
+# --------------------------------------------------------------------- #
+# Legacy membership path                                                  #
+# --------------------------------------------------------------------- #
+@contextmanager
+def legacy_membership_path() -> Iterator[None]:
+    """Temporarily restore the seed's O(n) membership-change behaviour.
+
+    Inside the context, every :class:`ChordRing` join/leave rewires the whole
+    ring (as the seed's ``_rewire_neighbours`` did) and every
+    :class:`ReputationStore` membership notification degrades to the blanket
+    ``invalidate_assignments()``.  Used to measure the *before* side of the
+    before/after comparison without keeping a second engine around; the
+    patches are process-global, so never run simulations concurrently with
+    this context active.
+    """
+    original_join = ChordRing.join
+    original_leave = ChordRing.leave
+    original_changed = ReputationStore.membership_changed
+
+    def legacy_join(self: ChordRing, peer_id: PeerId):
+        node = original_join(self, peer_id)
+        self.rewire_all()
+        return node
+
+    def legacy_leave(self: ChordRing, peer_id: PeerId):
+        node = original_leave(self, peer_id)
+        self.rewire_all()
+        return node
+
+    def legacy_changed(self: ReputationStore, change: object | None) -> None:
+        self.invalidate_assignments()
+
+    ChordRing.join = legacy_join  # type: ignore[method-assign]
+    ChordRing.leave = legacy_leave  # type: ignore[method-assign]
+    ReputationStore.membership_changed = legacy_changed  # type: ignore[method-assign]
+    try:
+        yield
+    finally:
+        ChordRing.join = original_join  # type: ignore[method-assign]
+        ChordRing.leave = original_leave  # type: ignore[method-assign]
+        ReputationStore.membership_changed = original_changed  # type: ignore[method-assign]
+
+
+# --------------------------------------------------------------------- #
+# End-to-end throughput                                                   #
+# --------------------------------------------------------------------- #
+def _summary_digest(summary_doc: dict[str, Any]) -> str:
+    """Digest of a run-summary document, ignoring wall-clock time."""
+    doc = dict(summary_doc)
+    doc.pop("elapsed_seconds", None)
+    return hashlib.sha256(
+        json.dumps(doc, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def _timed_run(params: SimulationParameters) -> tuple[float, str]:
+    """One simulation run: (elapsed seconds, result digest)."""
+    started = time.perf_counter()
+    summary = run_simulation(params)
+    elapsed = time.perf_counter() - started
+    return elapsed, _summary_digest(summary.to_dict())
+
+
+def bench_end_to_end(config: HotpathBenchConfig) -> list[dict[str, Any]]:
+    """Run each growth workload on both membership paths; return rows."""
+    rows: list[dict[str, Any]] = []
+    for name, arrival_rate in _WORKLOADS:
+        params = (
+            paper_default(seed=config.seed)
+            .scaled(config.num_transactions / _PAPER_HORIZON)
+            .with_overrides(arrival_rate=arrival_rate)
+        )
+        with legacy_membership_path():
+            before_elapsed, before_digest = _timed_run(params)
+        after_elapsed, after_digest = _timed_run(params)
+        rows.append(
+            {
+                "workload": name,
+                "num_transactions": params.num_transactions,
+                "arrival_rate": arrival_rate,
+                "expected_arrivals": params.expected_arrivals(),
+                "before": {
+                    "elapsed_seconds": round(before_elapsed, 4),
+                    "tx_per_sec": round(params.num_transactions / before_elapsed, 1),
+                },
+                "after": {
+                    "elapsed_seconds": round(after_elapsed, 4),
+                    "tx_per_sec": round(params.num_transactions / after_elapsed, 1),
+                },
+                "speedup": round(before_elapsed / after_elapsed, 2),
+                "bit_identical": before_digest == after_digest,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Microbenchmarks                                                         #
+# --------------------------------------------------------------------- #
+def _build_ring(size: int) -> ChordRing:
+    ring = ChordRing()
+    for peer_id in range(size):
+        ring.join(peer_id)
+    return ring
+
+
+def _time_churn_cycle(ring: ChordRing, first_id: PeerId, ops: int) -> float:
+    """Mean seconds per membership op over ``ops`` join+leave cycles."""
+    started = time.perf_counter()
+    for offset in range(ops):
+        ring.join(first_id + offset)
+        ring.leave(first_id + offset)
+    return (time.perf_counter() - started) / (2 * ops)
+
+
+def bench_ring_ops(config: HotpathBenchConfig) -> list[dict[str, Any]]:
+    """Join/leave cost per op at each ring size, legacy vs incremental."""
+    rows: list[dict[str, Any]] = []
+    for size in config.ring_sizes:
+        ring = _build_ring(size)
+        with legacy_membership_path():
+            before = _time_churn_cycle(ring, size, config.churn_ops)
+        after = _time_churn_cycle(ring, size, config.churn_ops)
+        rows.append(
+            {
+                "ring_size": size,
+                "ops": 2 * config.churn_ops,
+                "before_us_per_op": round(before * 1e6, 2),
+                "after_us_per_op": round(after * 1e6, 2),
+                "speedup": round(before / after, 2) if after > 0 else None,
+            }
+        )
+    return rows
+
+
+def bench_assignment_lookup(config: HotpathBenchConfig) -> dict[str, Any]:
+    """Cold vs cached manager resolution, and one targeted eviction pass."""
+    size = config.lookup_ring_size
+    ring = _build_ring(size)
+    assignment = ScoreManagerAssignment(ring=ring, num_score_managers=6)
+    store = ReputationStore(assignment=assignment)
+
+    subjects = [subject % size for subject in range(config.lookups)]
+    started = time.perf_counter()
+    for subject in subjects:
+        assignment.managers_for(subject)
+    cold = (time.perf_counter() - started) / len(subjects)
+
+    for subject in range(size):  # populate the cache completely
+        store.managers_for(subject)
+    started = time.perf_counter()
+    for subject in subjects:
+        store.managers_for(subject)
+    warm = (time.perf_counter() - started) / len(subjects)
+
+    evicted_before = store.targeted_evictions
+    started = time.perf_counter()
+    ring.join(size)
+    store.membership_changed(ring.last_change)
+    eviction_elapsed = time.perf_counter() - started
+    return {
+        "ring_size": size,
+        "num_score_managers": 6,
+        "lookups": len(subjects),
+        "cold_us_per_lookup": round(cold * 1e6, 2),
+        "cached_us_per_lookup": round(warm * 1e6, 2),
+        "cache_speedup": round(cold / warm, 1) if warm > 0 else None,
+        "targeted_eviction": {
+            "cached_subjects": size,
+            "evicted_by_one_join": store.targeted_evictions - evicted_before,
+            "elapsed_us": round(eviction_elapsed * 1e6, 2),
+        },
+    }
+
+
+# --------------------------------------------------------------------- #
+# Report assembly                                                         #
+# --------------------------------------------------------------------- #
+def run_hotpath_benchmarks(config: HotpathBenchConfig) -> dict[str, Any]:
+    """Run every benchmark and assemble the report document."""
+    end_to_end = bench_end_to_end(config)
+    report = {
+        "benchmark": "hotpath",
+        "description": (
+            "Membership-change hot path: incremental overlay rewiring + "
+            "targeted assignment invalidation vs the seed's full "
+            "rewire/blanket invalidation"
+        ),
+        "created_unix": int(time.time()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "config": {
+            "num_transactions": config.num_transactions,
+            "seed": config.seed,
+            "ring_sizes": list(config.ring_sizes),
+            "churn_ops": config.churn_ops,
+            "lookup_ring_size": config.lookup_ring_size,
+            "lookups": config.lookups,
+        },
+        "end_to_end": end_to_end,
+        "micro": {
+            "ring_ops": bench_ring_ops(config),
+            "assignment_lookup": bench_assignment_lookup(config),
+        },
+        "max_end_to_end_speedup": max(row["speedup"] for row in end_to_end),
+        "all_bit_identical": all(row["bit_identical"] for row in end_to_end),
+    }
+    return report
+
+
+def write_report(report: dict[str, Any], out_path: str | Path) -> Path:
+    """Write the report as JSON and return the path."""
+    path = Path(out_path)
+    path.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

@@ -60,8 +60,10 @@ from ..analysis.storage import ResultStore
 from ..analysis.tables import format_markdown_table
 from ..config import REPUTATION_SCHEMES, SimulationParameters
 from ..errors import ConfigurationError
+from ..metrics.summary import RunSummary
 from ..parallel.cache import RunCache
 from ..parallel.executor import BACKENDS, Executor, create_executor
+from ..parallel.specs import RunSpec
 from ..workloads.registry import available_scenarios, get_scenario
 from .base import Experiment, ExperimentResult
 from .figure1_growth import Figure1Growth
@@ -122,6 +124,51 @@ def make_experiment(
     )
 
 
+def _print_to_stderr(line: str) -> None:
+    print(line, file=sys.stderr)
+
+
+class _ThroughputExecutor(Executor):
+    """Executor decorator that reports transactions/sec per completed run.
+
+    Wraps any backend's :meth:`map_specs` and, as each simulation finishes,
+    emits its throughput (``num_transactions / RunSummary.elapsed_seconds``)
+    through ``emit`` — the ``--throughput`` flag of the CLI.  Cache hits never
+    reach the executor, so only freshly computed runs are reported.
+    """
+
+    def __init__(self, inner: Executor, emit: Callable[[str], None]) -> None:
+        self.inner = inner
+        self.backend = inner.backend
+        self.jobs = inner.jobs
+        self._emit = emit
+
+    def map_specs(self, specs, progress=None, on_result=None):
+        def report(index: int, summary: RunSummary) -> None:
+            if on_result is not None:
+                on_result(index, summary)
+            self._emit(_throughput_line(specs[index], summary))
+
+        return self.inner.map_specs(specs, progress=progress, on_result=report)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+def _throughput_line(spec: RunSpec, summary: RunSummary) -> str:
+    """One human-readable throughput report for a completed run."""
+    transactions = summary.params.num_transactions
+    elapsed = summary.elapsed_seconds
+    if elapsed > 0:
+        rate = f"{transactions / elapsed:,.0f} tx/s"
+    else:
+        rate = "n/a"
+    return (
+        f"[throughput] {spec.describe()}: {transactions:,} transactions "
+        f"in {elapsed:.2f}s = {rate}"
+    )
+
+
 def _execution_order(selected: list[str]) -> list[str]:
     """Selected ids in execution order: figure4 always precedes figure5.
 
@@ -148,6 +195,7 @@ def run_all(
     jobs: int = 1,
     backend: str | None = None,
     cache: RunCache | Path | str | None = None,
+    throughput: bool = False,
 ) -> dict[str, ExperimentResult]:
     """Run the selected experiments (all by default) and validate each.
 
@@ -155,6 +203,8 @@ def run_all(
     experiment (see the module docstring); results are identical for any
     combination.  ``cache`` (a :class:`RunCache` or a directory) skips
     simulations whose (params, seed) pair was already computed.
+    ``throughput`` reports each completed run's transactions/sec through
+    ``progress`` (or stderr when no progress sink is given).
 
     Figure 5 reuses Figure 4's simulation runs when both are requested —
     regardless of the order the ids appear in ``only`` — since they share
@@ -165,6 +215,9 @@ def run_all(
     for experiment_id in selected:
         _require_known(experiment_id)
     executor = create_executor(backend, jobs)
+    if throughput:
+        emit = progress if progress is not None else _print_to_stderr
+        executor = _ThroughputExecutor(executor, emit)
     if cache is not None and not isinstance(cache, RunCache):
         cache = RunCache(cache)
     completed: dict[str, ExperimentResult] = {}
@@ -310,6 +363,14 @@ def main(argv: list[str] | None = None) -> int:
         help="print the registered scenario names and exit",
     )
     parser.add_argument(
+        "--throughput",
+        action="store_true",
+        help=(
+            "print transactions/sec for every completed simulation run "
+            "(cache hits are not re-reported)"
+        ),
+    )
+    parser.add_argument(
         "--scheme",
         default=None,
         help=(
@@ -360,6 +421,7 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         backend=args.backend,
         cache=cache,
+        throughput=args.throughput,
     )
     report = render_report(results)
     print(report)

@@ -10,6 +10,7 @@ when nodes join or leave.
 """
 
 from .hashing import ring_distance, in_interval
+from .membership import MembershipChange, MembershipKind
 from .node import OverlayNode
 from .ring import ChordRing
 from .routing import RoutingResult, lookup
@@ -19,6 +20,8 @@ from .churn import ChurnManager, ChurnEvent, ChurnKind
 __all__ = [
     "ring_distance",
     "in_interval",
+    "MembershipChange",
+    "MembershipKind",
     "OverlayNode",
     "ChordRing",
     "RoutingResult",

@@ -16,6 +16,7 @@ tracks how responsibility moves when the ring changes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..ids import PeerId, replica_key
 from .ring import ChordRing
@@ -42,10 +43,26 @@ class ScoreManagerAssignment:
         very small rings; duplicates are removed while keeping order so the
         caller always sees each manager once.
         """
+        return self.assignment_with_dependencies(peer_id)[0]
+
+    def assignment_with_dependencies(
+        self, peer_id: PeerId
+    ) -> tuple[list[PeerId], tuple[int, ...]]:
+        """The managers of ``peer_id`` plus the ring keys they depend on.
+
+        The second element lists the keys of every candidate node the
+        selection looked at (the chosen managers and any self-excluded
+        subject node).  A membership change can only alter the assignment if
+        it lands on — or immediately in front of — one of these nodes, which
+        is what lets the reputation store evict cache entries selectively
+        (see :meth:`repro.rocq.store.ReputationStore.membership_changed`).
+        """
         if len(self.ring) == 0:
-            return []
+            return [], ()
         managers: list[PeerId] = []
         seen: set[PeerId] = set()
+        dependency_keys: list[int] = []
+        dependency_seen: set[int] = set()
         # At most one candidate (the subject itself) can be skipped, so two
         # successors per replica key are always enough to pick a manager.
         candidates_needed = 2 if self.exclude_self else 1
@@ -54,20 +71,36 @@ class ScoreManagerAssignment:
             candidates = self.ring.successors_of(key, candidates_needed)
             chosen: PeerId | None = None
             for node in candidates:
+                if node.key not in dependency_seen:
+                    dependency_keys.append(node.key)
+                    dependency_seen.add(node.key)
+                if chosen is not None:
+                    continue
                 if self.exclude_self and node.peer_id == peer_id and len(self.ring) > 1:
                     continue
                 chosen = node.peer_id
-                break
             if chosen is None:
                 chosen = candidates[0].peer_id if candidates else peer_id
             if chosen not in seen:
                 managers.append(chosen)
                 seen.add(chosen)
-        return managers
+        return managers, tuple(dependency_keys)
 
-    def managed_by(self, manager_id: PeerId, peers: list[PeerId]) -> list[PeerId]:
-        """Return the subset of ``peers`` whose reputation ``manager_id`` manages."""
-        return [p for p in peers if manager_id in self.managers_for(p)]
+    def managed_by(
+        self,
+        manager_id: PeerId,
+        peers: list[PeerId],
+        managers_lookup: Callable[[PeerId], list[PeerId]] | None = None,
+    ) -> list[PeerId]:
+        """Return the subset of ``peers`` whose reputation ``manager_id`` manages.
+
+        ``managers_lookup`` lets callers route the per-peer manager
+        resolution through a cache (the reputation store's assignment cache)
+        instead of recomputing ``managers_for`` — ``num_score_managers``
+        hashes and ring lookups per peer — on every call.
+        """
+        lookup = self.managers_for if managers_lookup is None else managers_lookup
+        return [p for p in peers if manager_id in lookup(p)]
 
     def note_reassignment(self) -> None:
         """Record that churn forced a responsibility transfer (metrics hook)."""

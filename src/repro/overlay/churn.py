@@ -71,6 +71,7 @@ class ChurnManager:
         """Add ``peer_id`` to the overlay and pull the records it now manages."""
         tracked_before = self._snapshot_assignments()
         self.ring.join(peer_id)
+        self._notify_store_of_change()
         migrated = self._migrate(tracked_before)
         event = ChurnEvent(
             kind=ChurnKind.JOIN, peer_id=peer_id, time=time, migrated_records=migrated
@@ -84,6 +85,7 @@ class ChurnManager:
         """Remove ``peer_id`` from the overlay, re-homing the records it held."""
         tracked_before = self._snapshot_assignments()
         self.ring.leave(peer_id)
+        self._notify_store_of_change()
         if self.store is not None:
             self.store.drop_manager(peer_id)
         migrated = self._migrate(tracked_before, departed=peer_id)
@@ -99,12 +101,36 @@ class ChurnManager:
     # ------------------------------------------------------------------ #
     # Internal                                                             #
     # ------------------------------------------------------------------ #
+    def _managers_lookup(self):
+        """Per-peer manager resolution, via the store's cache when it has one.
+
+        The rocq store memoises assignments (and keeps the memo coherent
+        through ``membership_changed``), so snapshotting every live peer
+        before a change — and re-resolving after it — only recomputes the
+        peers the change actually touched instead of hashing ``numSM``
+        replica keys per peer per churn event.
+        """
+        store_lookup = getattr(self.store, "managers_for", None)
+        if store_lookup is not None:
+            return store_lookup
+        return self.assignment.managers_for
+
+    def _notify_store_of_change(self) -> None:
+        """Tell a cache-keeping store which arc the ring change moved.
+
+        An idempotent re-join records no change (``last_change is None``) and
+        is not forwarded: nothing moved, so nothing may be invalidated.
+        """
+        if self.ring.last_change is None:
+            return
+        handler = getattr(self.store, "membership_changed", None)
+        if handler is not None:
+            handler(self.ring.last_change)
+
     def _snapshot_assignments(self) -> dict[PeerId, list[PeerId]]:
         """Capture the manager set of every live peer before the change."""
-        return {
-            peer_id: self.assignment.managers_for(peer_id)
-            for peer_id in self.ring.peers()
-        }
+        lookup = self._managers_lookup()
+        return {peer_id: lookup(peer_id) for peer_id in self.ring.peers()}
 
     def _migrate(
         self,
@@ -112,13 +138,14 @@ class ChurnManager:
         departed: PeerId | None = None,
     ) -> int:
         """Copy records to managers that gained responsibility; count copies."""
+        lookup = self._managers_lookup()
         if self.store is None:
             # Still count logical reassignments so overhead metrics exist.
             migrated = 0
             for subject, old_managers in before.items():
                 if subject not in self.ring and subject != departed:
                     continue
-                new_managers = self.assignment.managers_for(subject)
+                new_managers = lookup(subject)
                 gained = set(new_managers) - set(old_managers)
                 if gained:
                     self.assignment.note_reassignment()
@@ -127,7 +154,7 @@ class ChurnManager:
 
         migrated = 0
         for subject, old_managers in before.items():
-            new_managers = self.assignment.managers_for(subject)
+            new_managers = lookup(subject)
             gained = set(new_managers) - set(old_managers)
             if not gained:
                 continue

@@ -6,16 +6,24 @@ the experiments is *which* node is responsible for *which* key, and how that
 responsibility moves under churn.  Lookup nevertheless follows the Chord
 finger-table walk so routing path lengths remain realistic (O(log N) hops) and
 can be measured.
+
+Membership changes are incremental, as in Chord itself: a join or leave only
+touches the two neighbouring nodes' successor/predecessor pointers, and the
+ring records which arc changed hands in :attr:`ChordRing.last_change` so
+downstream caches can invalidate selectively.  The old whole-ring rewiring
+survives as :meth:`ChordRing.rewire_all` — the reference implementation the
+property tests (and the benchmark harness's legacy mode) compare against.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from ..errors import UnknownPeerError
 from ..ids import KEY_SPACE_BITS, PeerId
 from .hashing import in_interval
+from .membership import MembershipChange, MembershipKind
 from .node import OverlayNode
 
 __all__ = ["ChordRing"]
@@ -28,6 +36,9 @@ class ChordRing:
     _nodes_by_key: dict[int, OverlayNode] = field(default_factory=dict)
     _nodes_by_peer: dict[PeerId, OverlayNode] = field(default_factory=dict)
     _sorted_keys: list[int] = field(default_factory=list)
+    #: The :class:`MembershipChange` produced by the most recent ``join`` or
+    #: ``leave`` (``None`` initially, and after an idempotent no-op join).
+    last_change: MembershipChange | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #
     # Membership                                                           #
@@ -50,8 +61,17 @@ class ChordRing:
             raise UnknownPeerError(peer_id) from exc
 
     def join(self, peer_id: PeerId) -> OverlayNode:
-        """Add ``peer_id``'s node to the ring and wire its neighbours."""
+        """Add ``peer_id``'s node to the ring and wire its neighbours.
+
+        Only the new node and its two ring neighbours are touched: an
+        O(log n) position lookup, O(1) pointer updates, and one C-level
+        memmove of the sorted key list (``list.insert``) — no Python-level
+        work proportional to ring size, unlike the old whole-ring rewiring.
+        The arc the node takes over from its successor is recorded in
+        :attr:`last_change`.
+        """
         if peer_id in self._nodes_by_peer:
+            self.last_change = None
             return self._nodes_by_peer[peer_id]
         node = OverlayNode(peer_id=peer_id)
         # Handle the (astronomically unlikely) key collision by linear probing.
@@ -59,20 +79,58 @@ class ChordRing:
             node.key = (node.key + 1) % (1 << KEY_SPACE_BITS)
         self._nodes_by_key[node.key] = node
         self._nodes_by_peer[peer_id] = node
-        insort(self._sorted_keys, node.key)
-        self._rewire_neighbours()
+        index = bisect_left(self._sorted_keys, node.key)
+        self._sorted_keys.insert(index, node.key)
+        total = len(self._sorted_keys)
+        successor_key = self._sorted_keys[(index + 1) % total]
+        predecessor_key = self._sorted_keys[(index - 1) % total]
+        node.successor = successor_key
+        node.predecessor = predecessor_key
+        # On a single-node ring both neighbours are the node itself, and the
+        # two writes below simply re-assert its self-pointers.
+        self._nodes_by_key[predecessor_key].successor = node.key
+        self._nodes_by_key[successor_key].predecessor = node.key
+        self.last_change = MembershipChange(
+            kind=MembershipKind.JOIN,
+            peer_id=peer_id,
+            node_key=node.key,
+            predecessor_key=predecessor_key,
+            successor_key=successor_key,
+            ring_size=total,
+        )
         return node
 
     def leave(self, peer_id: PeerId) -> OverlayNode:
-        """Remove ``peer_id``'s node from the ring and return it."""
+        """Remove ``peer_id``'s node from the ring and return it.
+
+        The departing node's predecessor and successor are linked to each
+        other directly; no other node is touched.  The arc the node hands
+        back to its successor is recorded in :attr:`last_change`.
+        """
         node = self.node_for_peer(peer_id)
         del self._nodes_by_peer[peer_id]
         del self._nodes_by_key[node.key]
         index = bisect_left(self._sorted_keys, node.key)
         if index < len(self._sorted_keys) and self._sorted_keys[index] == node.key:
             self._sorted_keys.pop(index)
+        total = len(self._sorted_keys)
+        if total:
+            successor_key = self._sorted_keys[index % total]
+            predecessor_key = self._sorted_keys[(index - 1) % total]
+            self._nodes_by_key[predecessor_key].successor = successor_key
+            self._nodes_by_key[successor_key].predecessor = predecessor_key
+        else:
+            successor_key = node.key
+            predecessor_key = node.key
         node.clear_routing_state()
-        self._rewire_neighbours()
+        self.last_change = MembershipChange(
+            kind=MembershipKind.LEAVE,
+            peer_id=peer_id,
+            node_key=node.key,
+            predecessor_key=predecessor_key,
+            successor_key=successor_key,
+            ring_size=total,
+        )
         return node
 
     # ------------------------------------------------------------------ #
@@ -130,10 +188,16 @@ class ChordRing:
         return None
 
     # ------------------------------------------------------------------ #
-    # Internal                                                             #
+    # Reference rewiring                                                   #
     # ------------------------------------------------------------------ #
-    def _rewire_neighbours(self) -> None:
-        """Refresh successor/predecessor pointers after a membership change."""
+    def rewire_all(self) -> None:
+        """Rebuild every successor/predecessor pointer from the sorted keys.
+
+        O(n) over the whole ring — ``join``/``leave`` no longer need it, but
+        it remains the ground truth that incremental rewiring is checked
+        against (property tests) and the cost model of the benchmark
+        harness's legacy mode.
+        """
         keys = self._sorted_keys
         total = len(keys)
         for index, key in enumerate(keys):

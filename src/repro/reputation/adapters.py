@@ -144,6 +144,10 @@ class LogReputationBackend:
     # ------------------------------------------------------------------ #
     # Membership / churn protocol (no replicas to maintain)                #
     # ------------------------------------------------------------------ #
+    def membership_changed(self, change: object | None = None) -> None:
+        """A centralised log has no ring-keyed caches — nothing to evict."""
+        return None
+
     def invalidate_assignments(self) -> None:
         return None
 

@@ -10,9 +10,14 @@ the engine exercises:
 * **updates** — ``submit_report`` (feedback after a transaction),
   ``apply_adjustment`` (lending debits/credits, audit settlements,
   sanctions), ``set_reputation`` (bootstrap installs);
-* **membership** — ``invalidate_assignments`` plus the churn hooks of
-  :class:`repro.overlay.churn.ReputationStoreProtocol` so replicated
-  backends survive manager departures.
+* **membership** — ``membership_changed`` (a structured
+  :class:`~repro.overlay.membership.MembershipChange` describing the single
+  join/leave and the ring arc that moved, enabling targeted cache
+  invalidation), ``invalidate_assignments`` (the blanket fallback), plus the
+  churn hooks of :class:`repro.overlay.churn.ReputationStoreProtocol` so
+  replicated backends survive manager departures.  Engines should deliver
+  changes through :func:`notify_membership_change`, which falls back to
+  ``invalidate_assignments`` for backends that predate the structured hook.
 
 The module also hosts the **scheme registry**: a name → factory mapping that
 builds a backend from a :class:`~repro.config.SimulationParameters`.  The
@@ -36,6 +41,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Protocol, runtime_checkabl
 from ..config import REPUTATION_SCHEMES, SimulationParameters, parse_reputation_scheme
 from ..errors import ConfigurationError
 from ..ids import PeerId
+from ..overlay.membership import MembershipChange
 from ..rocq.protocol import FeedbackReport, ReputationAdjustment
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
@@ -47,6 +53,7 @@ __all__ = [
     "register_backend",
     "available_schemes",
     "make_reputation_backend",
+    "notify_membership_change",
 ]
 
 
@@ -86,8 +93,19 @@ class ReputationBackend(Protocol):
         ...
 
     # -- membership / churn -------------------------------------------- #
+    def membership_changed(self, change: MembershipChange | None) -> None:
+        """React to one described overlay join/leave.
+
+        ``change`` names the moved peer and the ring arc whose responsibility
+        changed hands, so backends that cache per-subject state keyed by ring
+        position can invalidate selectively.  Backends without such caches
+        treat this as a no-op; a ``None`` change (no structured information)
+        must degrade to :meth:`invalidate_assignments`.
+        """
+        ...
+
     def invalidate_assignments(self) -> None:
-        """React to an overlay membership change (may be a no-op)."""
+        """React to an unscoped overlay membership change (may be a no-op)."""
         ...
 
     def tracked_peers(self, manager_id: PeerId) -> Iterable[PeerId]:
@@ -107,6 +125,27 @@ class ReputationBackend(Protocol):
     def drop_manager(self, manager_id: PeerId) -> None:
         """Forget all records held by a departed manager."""
         ...
+
+
+def notify_membership_change(
+    backend: ReputationBackend, change: MembershipChange | None
+) -> None:
+    """Deliver one overlay membership change to ``backend``.
+
+    The default path for every engine-side caller: backends implementing the
+    structured ``membership_changed`` hook get the change object (and can
+    invalidate selectively); anything else — including third-party backends
+    written against the pre-hook protocol — falls back to the historical
+    blanket ``invalidate_assignments()``, which is always safe.
+
+    ``change=None`` means "the ring changed but nobody recorded how" and is
+    delivered as a full invalidation either way.
+    """
+    handler = getattr(backend, "membership_changed", None)
+    if handler is not None:
+        handler(change)
+    else:
+        backend.invalidate_assignments()
 
 
 #: A factory builds a backend from resolved parameters plus the overlay's

@@ -15,8 +15,15 @@ combines the overlay's score-manager assignment with the per-manager
 * churn hooks implementing the overlay's ``ReputationStoreProtocol`` so
   records survive manager departures.
 
-Manager lists are cached and invalidated whenever the ring changes, keeping
-the per-transaction cost independent of ring size.
+Manager lists are cached, and the cache is kept coherent under churn by
+**targeted invalidation**: alongside each cached subject the store remembers
+the ring keys its assignment depends on (a reverse index from overlay arcs
+to cached subjects), so a single join/leave — delivered as a
+:class:`~repro.overlay.membership.MembershipChange` via
+:meth:`ReputationStore.membership_changed` — evicts only the handful of
+subjects whose replica keys land in the changed arc instead of clearing the
+whole cache.  ``invalidate_assignments`` (the blanket clear) remains the
+fallback for callers without structured change information.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from typing import Iterable
 
 from ..ids import PeerId
 from ..overlay.assignment import ScoreManagerAssignment
+from ..overlay.membership import MembershipChange
 from .protocol import FeedbackReport, ReputationAdjustment
 from .score_manager import ScoreManager
 
@@ -55,8 +63,18 @@ class ReputationStore:
     default_reputation: float = 0.0
     _managers: dict[PeerId, ScoreManager] = field(default_factory=dict)
     _assignment_cache: dict[PeerId, list[PeerId]] = field(default_factory=dict)
+    #: Reverse index: ring key -> cached subjects whose assignment depends on
+    #: the node at that key (the arc it is responsible for).
+    _arc_dependents: dict[int, set[PeerId]] = field(default_factory=dict, repr=False)
+    #: Forward index: cached subject -> the ring keys it depends on.
+    _arc_dependencies: dict[PeerId, tuple[int, ...]] = field(
+        default_factory=dict, repr=False
+    )
     reports_delivered: int = 0
     adjustments_delivered: int = 0
+    #: Cache-coherency telemetry (exposed for benchmarks and tests).
+    full_invalidations: int = 0
+    targeted_evictions: int = 0
 
     # ------------------------------------------------------------------ #
     # Manager plumbing                                                     #
@@ -80,13 +98,63 @@ class ReputationStore:
         """Current score managers of ``subject`` (cached)."""
         managers = self._assignment_cache.get(subject)
         if managers is None:
-            managers = self.assignment.managers_for(subject)
-            self._assignment_cache[subject] = managers
+            managers, dependency_keys = self.assignment.assignment_with_dependencies(
+                subject
+            )
+            # An empty ring yields an empty assignment with no dependency
+            # keys to watch; caching it would make the entry un-evictable.
+            if dependency_keys:
+                self._assignment_cache[subject] = managers
+                self._arc_dependencies[subject] = dependency_keys
+                for key in dependency_keys:
+                    self._arc_dependents.setdefault(key, set()).add(subject)
         return managers
 
+    def managed_by(self, manager_id: PeerId, peers: list[PeerId]) -> list[PeerId]:
+        """Subset of ``peers`` managed by ``manager_id``, via the cache."""
+        return self.assignment.managed_by(
+            manager_id, peers, managers_lookup=self.managers_for
+        )
+
     def invalidate_assignments(self) -> None:
-        """Drop the assignment cache (call after any overlay membership change)."""
+        """Drop the whole assignment cache (fallback for unscoped changes)."""
         self._assignment_cache.clear()
+        self._arc_dependents.clear()
+        self._arc_dependencies.clear()
+        self.full_invalidations += 1
+
+    def membership_changed(self, change: MembershipChange | None) -> None:
+        """Evict only the cache entries a single join/leave can affect.
+
+        A cached assignment depends on a known set of ring nodes (the
+        candidate successors of its replica keys).  A **leave** can only
+        change assignments that depended on the departed node; a **join** can
+        only change assignments that depended on the new node's successor —
+        the node whose arc the newcomer split.  Everything else is untouched,
+        so a membership change costs O(affected subjects) evictions instead
+        of a full cache rebuild.
+        """
+        if change is None:
+            self.invalidate_assignments()
+            return
+        anchor = change.node_key if change.is_leave else change.successor_key
+        affected = self._arc_dependents.get(anchor)
+        if not affected:
+            return
+        for subject in list(affected):
+            self._evict_subject(subject)
+
+    def _evict_subject(self, subject: PeerId) -> None:
+        """Drop one subject's cached assignment and its reverse-index entries."""
+        if self._assignment_cache.pop(subject, None) is None:
+            return
+        self.targeted_evictions += 1
+        for key in self._arc_dependencies.pop(subject, ()):
+            dependents = self._arc_dependents.get(key)
+            if dependents is not None:
+                dependents.discard(subject)
+                if not dependents:
+                    del self._arc_dependents[key]
 
     # ------------------------------------------------------------------ #
     # Queries                                                              #

@@ -38,7 +38,7 @@ from ..overlay.assignment import ScoreManagerAssignment
 from ..overlay.ring import ChordRing
 from ..peers.peer import Peer, PeerStatus
 from ..peers.population import Population
-from ..reputation.backend import make_reputation_backend
+from ..reputation.backend import make_reputation_backend, notify_membership_change
 from ..rng import RandomStreams
 from ..topology.factory import make_topology
 from .arrivals import ArrivalFactory, PoissonArrivalProcess
@@ -139,11 +139,7 @@ class Simulation:
         started = _time.perf_counter()
         horizon = self.params.num_transactions
         for step in range(1, horizon + 1):
-            now = float(step)
-            self.clock.advance_to(now)
-            for event in self.events.pop_due(now):
-                self._handle_event(event)
-            self.transactions.execute(now)
+            self._advance_to(float(step))
         self._finalize()
         elapsed = _time.perf_counter() - started
         self._finished = True
@@ -153,11 +149,18 @@ class Simulation:
         """Advance the simulation by ``transactions`` time units (for tests)."""
         self.setup()
         for _ in range(transactions):
-            now = self.clock.now + 1.0
-            self.clock.advance_to(now)
-            for event in self.events.pop_due(now):
-                self._handle_event(event)
-            self.transactions.execute(now)
+            self._advance_to(self.clock.now + 1.0)
+
+    def _advance_to(self, now: float) -> None:
+        """Advance to time ``now``: process due events, then the transaction.
+
+        The single main-loop body shared by :meth:`run` and :meth:`step`, so
+        the two cannot drift apart.
+        """
+        self.clock.advance_to(now)
+        for event in self.events.pop_due(now):
+            self._handle_event(event)
+        self.transactions.execute(now)
 
     def _finalize(self) -> None:
         """End-of-run bookkeeping: take the final metrics sample.
@@ -245,7 +248,7 @@ class Simulation:
         self.topology.remove_member(peer_id)
         if peer_id in self.ring:
             self.ring.leave(peer_id)
-        self.store.invalidate_assignments()
+            notify_membership_change(self.store, self.ring.last_change)
 
     # ------------------------------------------------------------------ #
     # Membership side effects                                              #
@@ -256,7 +259,8 @@ class Simulation:
         """Make ``peer`` an active member: population, overlay and topology."""
         self.population.admit(peer.peer_id, time, introduced_by=introducer)
         self.ring.join(peer.peer_id)
-        self.store.invalidate_assignments()
+        if self.ring.last_change is not None:
+            notify_membership_change(self.store, self.ring.last_change)
         self.topology.add_member(peer.peer_id)
 
     def schedule_departure(self, peer_id: PeerId, time: float) -> None:

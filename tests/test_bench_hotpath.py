@@ -1,0 +1,124 @@
+"""Tests for the hot-path benchmark subsystem (``repro.bench``)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import (
+    HotpathBenchConfig,
+    bench_assignment_lookup,
+    bench_ring_ops,
+    legacy_membership_path,
+    run_hotpath_benchmarks,
+    write_report,
+)
+from repro.bench.__main__ import main as bench_main
+from repro.overlay.ring import ChordRing
+from repro.rocq.store import ReputationStore
+
+#: Sub-second sizes so the suite stays fast; the real trajectory numbers are
+#: produced by ``python -m repro.bench`` at the default sizes.
+TINY = HotpathBenchConfig(
+    num_transactions=60,
+    ring_sizes=(32,),
+    churn_ops=8,
+    lookup_ring_size=32,
+    lookups=40,
+)
+
+
+class TestLegacyMode:
+    def test_patches_are_restored_on_exit(self):
+        original_join = ChordRing.join
+        original_leave = ChordRing.leave
+        original_changed = ReputationStore.membership_changed
+        with legacy_membership_path():
+            assert ChordRing.join is not original_join
+        assert ChordRing.join is original_join
+        assert ChordRing.leave is original_leave
+        assert ReputationStore.membership_changed is original_changed
+
+    def test_patches_are_restored_even_on_error(self):
+        original_join = ChordRing.join
+        try:
+            with legacy_membership_path():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert ChordRing.join is original_join
+
+    def test_legacy_mode_blanket_invalidates(self):
+        ring = ChordRing()
+        for peer_id in range(6):
+            ring.join(peer_id)
+        from repro.overlay.assignment import ScoreManagerAssignment
+
+        store = ReputationStore(
+            assignment=ScoreManagerAssignment(ring=ring, num_score_managers=2)
+        )
+        for subject in range(6):
+            store.managers_for(subject)
+        with legacy_membership_path():
+            ring.join(50)
+            store.membership_changed(ring.last_change)
+        assert store._assignment_cache == {}
+        assert store.full_invalidations == 1
+
+    def test_legacy_mode_keeps_ring_pointers_correct(self):
+        with legacy_membership_path():
+            ring = ChordRing()
+            for peer_id in range(10):
+                ring.join(peer_id)
+            ring.leave(4)
+        node = ring.node_for_peer(0)
+        assert node.successor in ring._nodes_by_key
+        assert node.predecessor in ring._nodes_by_key
+
+
+class TestReport:
+    def test_report_structure_and_determinism_flags(self):
+        report = run_hotpath_benchmarks(TINY)
+        assert report["benchmark"] == "hotpath"
+        assert {row["workload"] for row in report["end_to_end"]} == {
+            "figure1_growth",
+            "growth_stress",
+        }
+        for row in report["end_to_end"]:
+            assert row["bit_identical"], row["workload"]
+            assert row["before"]["tx_per_sec"] > 0
+            assert row["after"]["tx_per_sec"] > 0
+        assert report["all_bit_identical"] is True
+        assert report["max_end_to_end_speedup"] > 0
+
+    def test_ring_ops_rows(self):
+        rows = bench_ring_ops(TINY)
+        assert [row["ring_size"] for row in rows] == [32]
+        assert rows[0]["ops"] == 16
+        assert rows[0]["before_us_per_op"] > 0
+        assert rows[0]["after_us_per_op"] > 0
+
+    def test_assignment_lookup_row(self):
+        row = bench_assignment_lookup(TINY)
+        assert row["ring_size"] == 32
+        assert row["cold_us_per_lookup"] > 0
+        assert row["cached_us_per_lookup"] > 0
+        eviction = row["targeted_eviction"]
+        assert 0 <= eviction["evicted_by_one_join"] <= eviction["cached_subjects"]
+
+    def test_write_report_round_trips(self, tmp_path):
+        report = {"benchmark": "hotpath", "end_to_end": []}
+        path = write_report(report, tmp_path / "BENCH_hotpath.json")
+        assert json.loads(path.read_text(encoding="utf-8")) == report
+
+
+class TestCli:
+    def test_quick_run_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        # Even --quick runs two full simulations; shrink further via argv is
+        # not exposed, so this is the one intentionally-slower test (~5 s).
+        exit_code = bench_main(["--quick", "--out", str(out)])
+        assert exit_code == 0
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["all_bit_identical"] is True
+        captured = capsys.readouterr()
+        assert "report written to" in captured.out

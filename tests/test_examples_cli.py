@@ -81,3 +81,39 @@ class TestRunnerCli:
                                  "--only", "table1"])
         assert exit_code == 0
         assert "Reproduction report" in capsys.readouterr().out
+
+    def test_throughput_flag_reports_completed_runs(self, capsys):
+        # figure1 (not table1) because table1 runs no simulations.
+        exit_code = runner.main(["--scale", "0.002", "--repeats", "1",
+                                 "--only", "figure1", "--throughput"])
+        assert exit_code == 0
+        stderr = capsys.readouterr().err
+        assert "[throughput]" in stderr
+        assert "tx/s" in stderr
+
+    def test_throughput_line_formats_rate(self):
+        from repro.experiments.runner import _throughput_line
+        from repro.metrics.summary import RunSummary
+        from repro.parallel.specs import RunSpec
+        from repro.workloads.scenarios import tiny_test
+
+        params = tiny_test(seed=1)
+        spec = RunSpec(params=params, seed=1, sweep="s", label="p",
+                       repeat=0, total_repeats=1)
+        summary = RunSummary(
+            params=params, seed=1,
+            final_cooperative=0, final_uncooperative=0, final_waiting=0,
+            final_rejected=0, arrivals_cooperative=0,
+            arrivals_uncooperative=0, admitted_cooperative=0,
+            admitted_uncooperative=0, refusals={},
+            refused_due_to_introducer_reputation=0,
+            refused_uncooperative_by_selective=0, transactions_attempted=0,
+            transactions_served=0, transactions_denied=0, success_rate=0.0,
+            introductions_granted=0, audits_passed=0, audits_failed=0,
+            total_reputation_lent=0.0, total_rewards_paid=0.0,
+            total_stakes_lost=0.0, elapsed_seconds=1.5,
+        )
+        line = _throughput_line(spec, summary)
+        assert "tx/s" in line and "3,000" in line
+        summary.elapsed_seconds = 0.0
+        assert "n/a" in _throughput_line(spec, summary)

@@ -1,0 +1,134 @@
+"""Dedicated tests for the Chord finger-table lookup path.
+
+The ring now rewires incrementally on churn, so routing correctness after
+joins/leaves — with fingers fresh, stale, or absent — gets its own coverage
+here, together with the O(log N) hop bound the finger tables exist for.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.ids import KEY_SPACE_SIZE, peer_key, replica_key
+from repro.overlay.ring import ChordRing
+from repro.overlay.routing import lookup
+
+
+def build_ring(size: int, fingers: bool = True) -> ChordRing:
+    ring = ChordRing()
+    for peer_id in range(size):
+        ring.join(peer_id)
+    if fingers:
+        for peer_id in range(size):
+            ring.build_fingers(peer_id)
+    return ring
+
+
+def reference_responsible(ring: ChordRing, key: int) -> int:
+    """Responsibility derived from sorted keys only (no pointers/fingers)."""
+    keys = sorted(ring._nodes_by_key)
+    for ring_key in keys:
+        if ring_key >= key % KEY_SPACE_SIZE:
+            return ring._nodes_by_key[ring_key].peer_id
+    return ring._nodes_by_key[keys[0]].peer_id
+
+
+class TestLookupCorrectness:
+    def test_every_origin_resolves_every_target(self):
+        ring = build_ring(32)
+        for origin in range(0, 32, 5):
+            for target in range(32):
+                result = lookup(ring, origin_peer=origin, key=peer_key(target))
+                assert result.responsible_peer == target
+
+    def test_arbitrary_keys_resolve_to_clockwise_successor(self):
+        ring = build_ring(24)
+        rng = random.Random(7)
+        for _ in range(200):
+            key = rng.randrange(KEY_SPACE_SIZE)
+            result = lookup(ring, origin_peer=rng.randrange(24), key=key)
+            assert result.responsible_peer == reference_responsible(ring, key)
+
+    def test_replica_keys_resolve_like_score_manager_assignment(self):
+        ring = build_ring(20)
+        for subject in range(20):
+            for replica in range(4):
+                key = replica_key(subject, replica)
+                result = lookup(ring, origin_peer=subject, key=key)
+                assert result.responsible_peer == ring.responsible_peer(key)
+
+
+class TestLookupAfterChurn:
+    def test_correct_after_incremental_joins_without_finger_rebuild(self):
+        """Stale fingers may lengthen paths but never break correctness."""
+        ring = build_ring(16)
+        for newcomer in range(100, 140):
+            ring.join(newcomer)
+        rng = random.Random(21)
+        members = ring.peers()
+        for _ in range(100):
+            target = rng.choice(members)
+            result = lookup(ring, origin_peer=rng.choice(members),
+                            key=peer_key(target))
+            assert result.responsible_peer == ring.responsible_peer(
+                peer_key(target)
+            )
+
+    def test_correct_after_leaves_without_finger_rebuild(self):
+        ring = build_ring(40)
+        for victim in range(0, 40, 3):
+            ring.leave(victim)
+        members = ring.peers()
+        for origin in members[::4]:
+            for target in members[::5]:
+                result = lookup(ring, origin_peer=origin, key=peer_key(target))
+                assert result.responsible_peer == target
+
+    def test_correct_and_tight_after_churn_with_rebuilt_fingers(self):
+        ring = build_ring(64)
+        for victim in range(0, 64, 4):
+            ring.leave(victim)
+        for newcomer in range(200, 216):
+            ring.join(newcomer)
+        members = ring.peers()
+        for peer_id in members:
+            ring.build_fingers(peer_id)
+        bound = 2 * math.log2(len(members)) + 4
+        for target in members[::3]:
+            result = lookup(ring, origin_peer=members[0], key=peer_key(target))
+            assert result.responsible_peer == target
+            assert result.hops <= bound
+
+
+class TestHopBound:
+    def test_hops_scale_logarithmically_with_ring_size(self):
+        """Worst observed hop count stays within O(log N) at growing sizes."""
+        for size in (32, 128, 512):
+            ring = build_ring(size)
+            rng = random.Random(size)
+            worst = 0
+            for _ in range(60):
+                origin = rng.randrange(size)
+                key = rng.randrange(KEY_SPACE_SIZE)
+                result = lookup(ring, origin_peer=origin, key=key)
+                assert result.responsible_peer == reference_responsible(ring, key)
+                worst = max(worst, result.hops)
+            # Chord's bound is log2(N) expected; allow a 2x + slack envelope
+            # for the iterative walk and unlucky key placement.
+            assert worst <= 2 * math.log2(size) + 4, (
+                f"worst hop count {worst} exceeds O(log N) envelope at n={size}"
+            )
+
+    def test_mean_hops_grow_sublinearly(self):
+        means = []
+        for size in (64, 256):
+            ring = build_ring(size)
+            rng = random.Random(size * 3)
+            hops = []
+            for _ in range(80):
+                key = rng.randrange(KEY_SPACE_SIZE)
+                hops.append(lookup(ring, origin_peer=0, key=key).hops)
+            means.append(sum(hops) / len(hops))
+        # Quadrupling the ring must not quadruple the mean path length.
+        assert means[1] < means[0] * 2.5
