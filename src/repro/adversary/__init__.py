@@ -1,0 +1,54 @@
+"""Pluggable adversary subsystem: reusable attack workloads.
+
+See :mod:`repro.adversary.base` for the :class:`AdversaryStrategy` protocol
+and the name → factory registry, and :mod:`repro.adversary.strategies` for
+the built-in attacks (sybil swarm, collusion ring, slander, whitewashing
+waves, churn storm).  Attacks are configured declaratively through
+:class:`~repro.config.AdversarySpec` on the simulation parameters, which
+puts every attack into the run-cache fingerprint automatically.
+"""
+
+from ..config import ADVERSARY_STRATEGIES, AdversarySpec
+from .base import (
+    AdversaryFactory,
+    AdversaryStrategy,
+    adversary_knobs,
+    available_adversaries,
+    default_adversary_spec,
+    make_adversary,
+    register_adversary,
+)
+from .strategies import (
+    ChurnStormStrategy,
+    CollusionRingStrategy,
+    SlanderStrategy,
+    SybilSwarmStrategy,
+    WhitewashRebirth,
+    WhitewashWavesStrategy,
+)
+
+__all__ = [
+    "ADVERSARY_STRATEGIES",
+    "AdversarySpec",
+    "AdversaryStrategy",
+    "AdversaryFactory",
+    "register_adversary",
+    "available_adversaries",
+    "adversary_knobs",
+    "make_adversary",
+    "default_adversary_spec",
+    "SybilSwarmStrategy",
+    "CollusionRingStrategy",
+    "SlanderStrategy",
+    "WhitewashWavesStrategy",
+    "ChurnStormStrategy",
+    "WhitewashRebirth",
+]
+
+# Every strategy the configuration layer accepts must be buildable.
+from .base import _FACTORIES as _registered_factories  # noqa: E402
+
+assert set(ADVERSARY_STRATEGIES) == set(_registered_factories), (
+    "config.ADVERSARY_STRATEGIES and the adversary registry drifted apart: "
+    f"{sorted(ADVERSARY_STRATEGIES)} vs {sorted(_registered_factories)}"
+)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 from .hotpath import HotpathBenchConfig, run_hotpath_benchmarks, write_report
 
@@ -35,9 +36,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="tiny sizes for CI smoke runs (overrides --transactions)",
+        help="tiny sizes for CI smoke runs (overrides --transactions; "
+        "runs with 0 warmup iterations)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        help="untimed end-to-end runs before each timed one "
+        "(default: 1, or 0 with --quick)",
     )
     args = parser.parse_args(argv)
+    if args.warmup is not None and args.warmup < 0:
+        parser.error("--warmup must be >= 0")
 
     if args.quick:
         config = HotpathBenchConfig.quick()
@@ -45,6 +56,8 @@ def main(argv: list[str] | None = None) -> int:
         config = HotpathBenchConfig(
             num_transactions=args.transactions, seed=args.seed
         )
+    if args.warmup is not None:
+        config = replace(config, warmup=args.warmup)
 
     print(
         f"benchmarking hot path ({config.num_transactions:,} transactions "

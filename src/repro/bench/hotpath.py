@@ -69,16 +69,22 @@ class HotpathBenchConfig:
     churn_ops: int = 200
     lookup_ring_size: int = 2_000
     lookups: int = 2_000
+    #: Untimed end-to-end runs executed before each timed one (on both
+    #: membership paths), so allocator/cache warm-up does not pollute the
+    #: before/after comparison.  ``0`` disables warm-up entirely — the CI
+    #: smoke configuration, where wall-clock budget beats measurement polish.
+    warmup: int = 1
 
     @classmethod
     def quick(cls) -> "HotpathBenchConfig":
-        """A seconds-scale configuration for CI smoke runs."""
+        """A seconds-scale configuration for CI smoke runs (no warm-up)."""
         return cls(
             num_transactions=600,
             ring_sizes=(256,),
             churn_ops=50,
             lookup_ring_size=256,
             lookups=400,
+            warmup=0,
         )
 
 
@@ -155,7 +161,11 @@ def bench_end_to_end(config: HotpathBenchConfig) -> list[dict[str, Any]]:
             .with_overrides(arrival_rate=arrival_rate)
         )
         with legacy_membership_path():
+            for _ in range(config.warmup):
+                _timed_run(params)
             before_elapsed, before_digest = _timed_run(params)
+        for _ in range(config.warmup):
+            _timed_run(params)
         after_elapsed, after_digest = _timed_run(params)
         rows.append(
             {
@@ -280,6 +290,7 @@ def run_hotpath_benchmarks(config: HotpathBenchConfig) -> dict[str, Any]:
             "churn_ops": config.churn_ops,
             "lookup_ring_size": config.lookup_ring_size,
             "lookups": config.lookups,
+            "warmup": config.warmup,
         },
         "end_to_end": end_to_end,
         "micro": {

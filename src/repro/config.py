@@ -21,6 +21,8 @@ __all__ = [
     "BootstrapMode",
     "REPUTATION_SCHEMES",
     "parse_reputation_scheme",
+    "ADVERSARY_STRATEGIES",
+    "AdversarySpec",
     "SimulationParameters",
     "PAPER_DEFAULTS",
 ]
@@ -57,6 +59,162 @@ def parse_reputation_scheme(value: str) -> str:
             f"unknown reputation scheme: {value!r}; known: {list(REPUTATION_SCHEMES)}"
         )
     return text
+
+
+#: Canonical names of the pluggable adversary strategies.  The registry in
+#: :mod:`repro.adversary` must provide a factory for every name listed here
+#: (a test keeps the two in sync, mirroring :data:`REPUTATION_SCHEMES`).
+ADVERSARY_STRATEGIES = (
+    "sybil_swarm",
+    "collusion_ring",
+    "slander",
+    "whitewash_waves",
+    "churn_storm",
+)
+
+_ADVERSARY_ALIASES = {
+    "sybil": "sybil_swarm",
+    "collusion": "collusion_ring",
+    "bad_mouthing": "slander",
+    "badmouthing": "slander",
+    "whitewash": "whitewash_waves",
+    "whitewashing": "whitewash_waves",
+    "churn": "churn_storm",
+}
+
+
+def _parse_adversary_name(value: str) -> str:
+    """Normalise an adversary strategy name, raising on unknown names."""
+    text = str(value).strip().lower().replace("-", "_")
+    text = _ADVERSARY_ALIASES.get(text, text)
+    if text not in ADVERSARY_STRATEGIES:
+        raise ConfigurationError(
+            f"unknown adversary strategy: {value!r}; "
+            f"known: {list(ADVERSARY_STRATEGIES)}"
+        )
+    return text
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """Declarative description of one adversary workload.
+
+    The spec is part of :class:`SimulationParameters` — it is validated at
+    construction, serialised into the parameter fingerprint (so cached runs
+    of different attacks never collide) and resolved into a concrete
+    :class:`~repro.adversary.AdversaryStrategy` by the simulation engine.
+
+    Attributes
+    ----------
+    name:
+        Registry name of the strategy (see :data:`ADVERSARY_STRATEGIES`).
+    count:
+        How many attacker identities the strategy controls (per wave, where
+        the strategy is wave-based).
+    start_time:
+        Simulated time of the first adversary action event.  Initial attacker
+        injection happens at setup regardless; ``start_time`` only governs
+        the recurring action schedule.
+    interval:
+        Time units between consecutive adversary action events.
+    options:
+        Strategy-specific knobs as a sorted tuple of ``(name, value)`` pairs
+        (kept a tuple so the spec stays hashable).  Mappings are accepted at
+        construction and canonicalised.  Unknown knob names are rejected when
+        the strategy is built.
+    """
+
+    name: str = "sybil_swarm"
+    count: int = 4
+    start_time: float = 0.0
+    interval: float = 500.0
+    options: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", _parse_adversary_name(self.name))
+        raw = self.options
+        if isinstance(raw, Mapping):
+            pairs = raw.items()
+        else:
+            pairs = tuple(raw)
+        try:
+            canonical = tuple(
+                sorted((str(key), float(value)) for key, value in pairs)
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"adversary option values must be numeric: {exc}"
+            ) from exc
+        object.__setattr__(self, "options", canonical)
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` if any field is out of range."""
+        if self.count < 1:
+            raise ConfigurationError("adversary count must be >= 1")
+        if self.start_time < 0:
+            raise ConfigurationError("adversary start_time must be >= 0")
+        if self.interval <= 0:
+            raise ConfigurationError("adversary interval must be > 0")
+        seen = set()
+        for key, _ in self.options:
+            if not key:
+                raise ConfigurationError("adversary option names must be non-empty")
+            if key in seen:
+                raise ConfigurationError(f"duplicate adversary option: {key!r}")
+            seen.add(key)
+
+    def option(self, key: str, default: float) -> float:
+        """The value of knob ``key``, or ``default`` when unset."""
+        for name, value in self.options:
+            if name == key:
+                return value
+        return default
+
+    def with_options(self, **overrides: float) -> "AdversarySpec":
+        """Return a copy with the given knobs replaced or added."""
+        merged = dict(self.options)
+        merged.update({key: float(value) for key, value in overrides.items()})
+        return replace(self, options=tuple(sorted(merged.items())))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "start_time": self.start_time,
+            "interval": self.interval,
+            "options": {key: value for key, value in self.options},
+        }
+
+    @classmethod
+    def parse(
+        cls, value: "AdversarySpec | str | Mapping[str, Any] | None"
+    ) -> "AdversarySpec | None":
+        """Coerce ``value`` into a validated spec (``None`` stays ``None``).
+
+        Accepts a ready spec, a bare strategy name (all defaults), or a
+        mapping as produced by :meth:`to_dict`.  Unknown mapping keys are
+        rejected loudly: a knob placed at the top level instead of under
+        ``options`` must not silently run a weaker attack.
+        """
+        if value is None or isinstance(value, AdversarySpec):
+            return value
+        if isinstance(value, str):
+            return cls(name=value)
+        if isinstance(value, Mapping):
+            known = {f.name for f in fields(cls)}
+            unknown = sorted(set(value) - known)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown adversary spec field(s) {unknown}; "
+                    f"strategy knobs belong under 'options' "
+                    f"(accepted fields: {sorted(known)})"
+                )
+            return cls(**dict(value))
+        raise ConfigurationError(
+            f"cannot interpret adversary spec from {type(value).__name__}"
+        )
 
 
 class Topology(str, Enum):
@@ -206,6 +364,11 @@ class SimulationParameters:
     #: baseline names swap in the systems from :mod:`repro.reputation` so the
     #: comparative claims can be evaluated under the full dynamics.
     reputation_scheme: str = "rocq"
+    #: Optional adversary workload driven alongside the honest dynamics (see
+    #: :class:`AdversarySpec` and :mod:`repro.adversary`).  ``None`` — the
+    #: default — runs the seed engine's exact behaviour: no adversary events
+    #: are scheduled and no extra random draws happen.
+    adversary: AdversarySpec | None = None
     bootstrap_mode: BootstrapMode = BootstrapMode.LENDING
     #: Initial credit granted under ``BootstrapMode.FIXED_CREDIT``.
     fixed_initial_credit: float = 0.3
@@ -232,6 +395,7 @@ class SimulationParameters:
             "reputation_scheme",
             parse_reputation_scheme(self.reputation_scheme),
         )
+        object.__setattr__(self, "adversary", AdversarySpec.parse(self.adversary))
         self.validate()
 
     def validate(self) -> None:
@@ -325,23 +489,34 @@ class SimulationParameters:
     def scaled(self, factor: float) -> "SimulationParameters":
         """Return a copy whose run length is scaled by ``factor``.
 
-        Only the horizon (``num_transactions``) and the sampling interval are
+        Only the horizon (``num_transactions``), the sampling interval and —
+        when an adversary is configured — the adversary's action schedule are
         scaled; rates are left untouched so the *density* of arrivals per time
         unit — and therefore the dynamics — stay the same.  Used by the
         benchmark harness to run paper experiments at laptop scale.
         """
         if factor <= 0:
             raise ConfigurationError("scale factor must be > 0")
-        return self.with_overrides(
-            num_transactions=max(1, int(round(self.num_transactions * factor))),
-            sample_interval=max(1.0, self.sample_interval * factor),
-        )
+        overrides: dict[str, Any] = {
+            "num_transactions": max(1, int(round(self.num_transactions * factor))),
+            "sample_interval": max(1.0, self.sample_interval * factor),
+        }
+        if self.adversary is not None:
+            overrides["adversary"] = replace(
+                self.adversary,
+                start_time=self.adversary.start_time * factor,
+                interval=max(1.0, self.adversary.interval * factor),
+            )
+        return self.with_overrides(**overrides)
 
     def to_dict(self) -> dict[str, Any]:
         """Return a JSON-serialisable dictionary of all parameters."""
         data = asdict(self)
         data["topology"] = self.topology.value
         data["bootstrap_mode"] = self.bootstrap_mode.value
+        data["adversary"] = (
+            self.adversary.to_dict() if self.adversary is not None else None
+        )
         return data
 
     def to_json(self, indent: int = 2) -> str:

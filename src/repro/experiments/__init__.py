@@ -19,6 +19,7 @@ Experiment identifiers (see DESIGN.md §3):
 ``figure5`` Figure 5 — final proportions vs amount of reputation lent
 ``figure6`` Figure 6 — final counts and refusals vs freerider arrival fraction
 ``scheme_comparison`` cross-backend newcomer/whitewashing table (ours)
+``robustness_matrix`` scheme x attack grid over the adversary registry (ours)
 =========  ==========================================================
 """
 
@@ -32,6 +33,7 @@ from .figure4_lent_amount import Figure4LentAmount
 from .figure5_lent_proportion import Figure5LentProportion
 from .figure6_freerider_fraction import Figure6FreeriderFraction
 from .scheme_comparison import SchemeComparison
+from .robustness_matrix import RobustnessMatrix
 from .runner import EXPERIMENTS, make_experiment, run_all, render_report
 
 __all__ = [
@@ -46,6 +48,7 @@ __all__ = [
     "Figure5LentProportion",
     "Figure6FreeriderFraction",
     "SchemeComparison",
+    "RobustnessMatrix",
     "EXPERIMENTS",
     "make_experiment",
     "run_all",

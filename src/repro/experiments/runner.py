@@ -56,6 +56,7 @@ import sys
 from pathlib import Path
 from typing import Callable, Mapping, Type
 
+from ..adversary import available_adversaries
 from ..analysis.storage import ResultStore
 from ..analysis.tables import format_markdown_table
 from ..config import REPUTATION_SCHEMES, SimulationParameters
@@ -72,6 +73,7 @@ from .figure3_naive_proportion import Figure3NaiveProportion
 from .figure4_lent_amount import Figure4LentAmount
 from .figure5_lent_proportion import Figure5LentProportion
 from .figure6_freerider_fraction import Figure6FreeriderFraction
+from .robustness_matrix import RobustnessMatrix
 from .scheme_comparison import SchemeComparison
 from .success_rate import SuccessRateExperiment
 from .table1_parameters import Table1Parameters
@@ -79,7 +81,8 @@ from .table1_parameters import Table1Parameters
 __all__ = ["EXPERIMENTS", "make_experiment", "run_all", "render_report", "main"]
 
 #: Registry of every experiment: the paper's artefacts in presentation order,
-#: then the reproduction's own additions (the cross-scheme comparison).
+#: then the reproduction's own additions (the cross-scheme comparison and the
+#: scheme x attack robustness matrix).
 EXPERIMENTS: dict[str, Type[Experiment]] = {
     "table1": Table1Parameters,
     "figure1": Figure1Growth,
@@ -90,6 +93,7 @@ EXPERIMENTS: dict[str, Type[Experiment]] = {
     "figure5": Figure5LentProportion,
     "figure6": Figure6FreeriderFraction,
     "scheme_comparison": SchemeComparison,
+    "robustness_matrix": RobustnessMatrix,
 }
 
 
@@ -126,6 +130,12 @@ def make_experiment(
 
 def _print_to_stderr(line: str) -> None:
     print(line, file=sys.stderr)
+
+
+def _print_catalogue(catalogue: Mapping[str, str]) -> None:
+    """Print a name → description registry, sorted by name for stable output."""
+    for name, description in sorted(catalogue.items()):
+        print(f"{name:24s} {description}")
 
 
 class _ThroughputExecutor(Executor):
@@ -360,7 +370,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list-scenarios",
         action="store_true",
-        help="print the registered scenario names and exit",
+        help="print the registered scenario names (sorted) and exit",
+    )
+    parser.add_argument(
+        "--list-adversaries",
+        action="store_true",
+        help="print the registered adversary strategy names (sorted) and exit",
     )
     parser.add_argument(
         "--throughput",
@@ -381,8 +396,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_scenarios:
-        for name, description in sorted(available_scenarios().items()):
-            print(f"{name:22s} {description}")
+        _print_catalogue(available_scenarios())
+        return 0
+    if args.list_adversaries:
+        _print_catalogue(available_adversaries())
         return 0
 
     base_params: SimulationParameters | None = None

@@ -29,11 +29,16 @@ from typing import Callable, Sequence
 from ..analysis.comparison import ShapeCheck
 from ..config import REPUTATION_SCHEMES, BootstrapMode
 from ..metrics.summary import RunSummary
-from ..reputation.backend import make_reputation_backend
+from ..reputation.adapters import native_newcomer_reputation
 from ..workloads.sweep import ParameterSweep, SweepPoint
 from .base import Experiment, ExperimentResult
 
-__all__ = ["SchemeComparison", "MAX_COMPARISON_TRANSACTIONS"]
+__all__ = [
+    "SchemeComparison",
+    "MAX_COMPARISON_TRANSACTIONS",
+    "capped_comparison_scale",
+    "scheme_overrides",
+]
 
 #: Horizon cap for the comparison sweep.  The expensive backends (EigenTrust
 #: power iteration) make paper-scale horizons pointless for a qualitative
@@ -47,6 +52,36 @@ _MIN_ARRIVALS = 5.0
 
 def _rate(numerator: float, denominator: float) -> float:
     return numerator / denominator if denominator else float("nan")
+
+
+def capped_comparison_scale(scale: float, base_params) -> float:
+    """``scale``, additionally capped at the cross-scheme horizon limit.
+
+    Shared by every experiment that sweeps all reputation backends (the
+    scheme comparison and the robustness matrix), so the two always run at
+    the same horizon rule.
+    """
+    horizon = base_params.num_transactions * scale
+    if horizon <= MAX_COMPARISON_TRANSACTIONS:
+        return scale
+    return scale * (MAX_COMPARISON_TRANSACTIONS / horizon)
+
+
+def scheme_overrides(base_params, scheme: str) -> dict[str, object]:
+    """Parameter overrides that put ``scheme`` on a fair comparative footing.
+
+    The paper's scheme keeps its native lending bootstrap; every baseline
+    judges newcomers itself — open admission with the scheme's own newcomer
+    score installed, so the §1 taxonomy is reproduced by the schemes rather
+    than by construction.  Shared by the cross-scheme experiments.
+    """
+    overrides: dict[str, object] = {"reputation_scheme": scheme}
+    if scheme != "rocq":
+        overrides["bootstrap_mode"] = BootstrapMode.OPEN
+        overrides["open_initial_reputation"] = native_newcomer_reputation(
+            base_params, scheme
+        )
+    return overrides
 
 
 class SchemeComparison(Experiment):
@@ -68,32 +103,14 @@ class SchemeComparison(Experiment):
     # ------------------------------------------------------------------ #
     def _effective_scale(self) -> float:
         """The experiment's scale, additionally capped at the horizon limit."""
-        horizon = self.base_params.num_transactions * self.scale
-        if horizon <= MAX_COMPARISON_TRANSACTIONS:
-            return self.scale
-        return self.scale * (MAX_COMPARISON_TRANSACTIONS / horizon)
-
-    def _native_newcomer_reputation(self, scheme: str) -> float:
-        """What ``scheme`` itself would grant a complete stranger."""
-        probe = self.base_params.with_overrides(reputation_scheme=scheme)
-        return make_reputation_backend(probe, assignment=None).newcomer_reputation()
+        return capped_comparison_scale(self.scale, self.base_params)
 
     def _points(self) -> list[SweepPoint]:
         attack_fraction = max(self.base_params.fraction_uncooperative, 0.4)
         points = []
         for index, scheme in enumerate(self.schemes):
-            overrides: dict[str, object] = {
-                "reputation_scheme": scheme,
-                "fraction_uncooperative": attack_fraction,
-            }
-            if scheme != "rocq":
-                # Baselines judge newcomers themselves: open admission, with
-                # the scheme's own bootstrap score as the installed value so
-                # OpenBootstrap does not distort the taxonomy.
-                overrides["bootstrap_mode"] = BootstrapMode.OPEN
-                overrides["open_initial_reputation"] = (
-                    self._native_newcomer_reputation(scheme)
-                )
+            overrides = scheme_overrides(self.base_params, scheme)
+            overrides["fraction_uncooperative"] = attack_fraction
             points.append(SweepPoint(label=scheme, x=float(index), overrides=overrides))
         return points
 

@@ -24,6 +24,7 @@ __all__ = [
     "FreeriderBehavior",
     "MaliciousProviderBehavior",
     "ColluderBehavior",
+    "SlandererBehavior",
     "WhitewasherBehavior",
     "make_behavior",
 ]
@@ -36,6 +37,7 @@ class BehaviorKind(str, Enum):
     FREERIDER = "freerider"
     MALICIOUS_PROVIDER = "malicious_provider"
     COLLUDER = "colluder"
+    SLANDERER = "slanderer"
     WHITEWASHER = "whitewasher"
 
 
@@ -149,6 +151,25 @@ class ColluderBehavior(BehaviorModel):
         return 1.0 if satisfied else 0.0
 
 
+class SlandererBehavior(BehaviorModel):
+    """Bad-mouthing attacker: serves well, but reports dissatisfaction always.
+
+    Slanderers masquerade as good citizens on the service side (so the
+    community keeps interacting with them) while systematically filing
+    negative feedback about every partner, dragging honest reputations down.
+    Schemes that weigh reports by reporter credibility (ROCQ) should discount
+    them once their reports diverge from the consensus; schemes that count
+    raw complaints cannot.
+    """
+
+    def __init__(self, service_quality: float = 0.95) -> None:
+        super().__init__(
+            kind=BehaviorKind.SLANDERER,
+            service_quality=service_quality,
+            honest_reporting=False,
+        )
+
+
 class WhitewasherBehavior(BehaviorModel):
     """Freerider that plans to discard its identity once its reputation dies.
 
@@ -186,6 +207,8 @@ def make_behavior(
         return MaliciousProviderBehavior()
     if kind == BehaviorKind.COLLUDER:
         return ColluderBehavior()
+    if kind == BehaviorKind.SLANDERER:
+        return SlandererBehavior(service_quality=cooperative_quality)
     if kind == BehaviorKind.WHITEWASHER:
         return WhitewasherBehavior(service_quality=uncooperative_quality)
     raise ValueError(f"unsupported behaviour kind: {kind!r}")

@@ -33,11 +33,29 @@ from ..ids import PeerId
 from ..rocq.protocol import FeedbackReport, ReputationAdjustment
 from .base import ReputationSystem
 
-__all__ = ["LogReputationBackend"]
+__all__ = ["LogReputationBackend", "native_newcomer_reputation"]
 
 
 def _clamp(value: float) -> float:
     return min(1.0, max(0.0, value))
+
+
+def native_newcomer_reputation(base, scheme: str) -> float:
+    """What ``scheme`` itself would grant a complete stranger.
+
+    Builds a throwaway backend for ``scheme`` from ``base`` (a
+    :class:`~repro.config.SimulationParameters`) and asks it for its
+    newcomer reputation.  Used by the cross-scheme experiments to run each
+    baseline under open admission at *its own* bootstrap score, so the
+    paper's §1 taxonomy is reproduced by the schemes rather than by
+    construction.  Only meaningful for the log-based baselines: ``rocq``
+    replicates across score managers and is rejected by its factory when no
+    assignment is supplied.
+    """
+    from .backend import make_reputation_backend
+
+    probe = base.with_overrides(reputation_scheme=scheme)
+    return make_reputation_backend(probe, assignment=None).newcomer_reputation()
 
 
 class LogReputationBackend:

@@ -27,6 +27,7 @@ from __future__ import annotations
 import time as _time
 from dataclasses import dataclass
 
+from ..adversary import make_adversary
 from ..config import SimulationParameters
 from ..core.admission import AdmissionController, AdmissionRequest
 from ..core.lending import LendingManager
@@ -98,6 +99,12 @@ class Simulation:
         )
         self.events = EventQueue()
         self._introducer_rng = self.streams.stream("introducer_choice")
+        # The adversary workload, if any.  With ``params.adversary is None``
+        # (the default) nothing is built, no events are scheduled and no
+        # extra random streams exist — the seed engine's exact behaviour.
+        self.adversary = (
+            make_adversary(params.adversary) if params.adversary is not None else None
+        )
         self._initialized = False
         self._finished = False
 
@@ -127,6 +134,13 @@ class Simulation:
         if self.params.sample_interval <= self.params.num_transactions:
             self.events.schedule(self.params.sample_interval, EventKind.SAMPLE)
         self._initialized = True
+        if self.adversary is not None:
+            # Installed last, so an installing strategy sees exactly the state
+            # a hand-rolled scenario would after ``setup()`` returned.
+            self.adversary.install(self, 0.0)
+            first_action = self.params.adversary.start_time
+            if first_action <= self.params.num_transactions:
+                self.events.schedule(first_action, EventKind.ADVERSARY)
 
     # ------------------------------------------------------------------ #
     # Main loop                                                            #
@@ -191,12 +205,21 @@ class Simulation:
             self._handle_sample(event.time)
         elif event.kind == EventKind.DEPARTURE:
             self._handle_departure(event.payload, event.time)
+        elif event.kind == EventKind.ADVERSARY:
+            self._handle_adversary_action(event.time)
         else:  # pragma: no cover - defensive
             raise SimulationError(f"unhandled event kind: {event.kind}")
 
     def _handle_arrival(self, time: float) -> None:
         """A new peer arrives, picks an introducer, and requests admission."""
         peer = self.factory.create_arrival(time)
+        self._request_admission(peer, time)
+        next_arrival = self.arrivals.next_arrival_after(time)
+        if next_arrival <= self.params.num_transactions:
+            self.events.schedule(next_arrival, EventKind.ARRIVAL)
+
+    def _request_admission(self, peer: Peer, time: float) -> None:
+        """Send ``peer`` through the admission pipeline (shared arrival body)."""
         self.metrics.record_arrival(peer)
         introducer = self._choose_introducer(peer)
         request = self.admission.request_admission(peer, introducer, time)
@@ -206,9 +229,6 @@ class Simulation:
             self.events.schedule(
                 request.respond_at, EventKind.ADMISSION_RESPONSE, payload=request
             )
-        next_arrival = self.arrivals.next_arrival_after(time)
-        if next_arrival <= self.params.num_transactions:
-            self.events.schedule(next_arrival, EventKind.ARRIVAL)
 
     def _choose_introducer(self, applicant: Peer) -> Peer | None:
         """Pick the member the applicant asks, according to the topology."""
@@ -238,6 +258,14 @@ class Simulation:
         next_sample = time + self.params.sample_interval
         if next_sample <= self.params.num_transactions:
             self.events.schedule(next_sample, EventKind.SAMPLE)
+
+    def _handle_adversary_action(self, time: float) -> None:
+        """One tick of the configured adversary's deterministic schedule."""
+        assert self.adversary is not None  # only scheduled when configured
+        self.adversary.act(self, time)
+        next_action = time + self.params.adversary.interval
+        if next_action <= self.params.num_transactions:
+            self.events.schedule(next_action, EventKind.ADVERSARY)
 
     def _handle_departure(self, peer_id: PeerId, time: float) -> None:
         """A member leaves the community (whitewashing / churn scenarios)."""
@@ -292,6 +320,33 @@ class Simulation:
         self._join_community(peer, now, introducer=None)
         if initial_reputation is not None:
             self.store.set_reputation(peer.peer_id, initial_reputation, now)
+        return peer
+
+    def inject_arrival(
+        self,
+        behavior,
+        introducer_policy=None,
+        time: float | None = None,
+    ) -> Peer:
+        """Inject a peer that must pass through the **real admission pipeline**.
+
+        The counterpart of :meth:`add_member` for strangers: the peer is
+        created in WAITING status, picks an introducer from the topology and
+        requests admission exactly like a Poisson arrival — so the configured
+        bootstrap mode (lending, open, fixed credit, closed) decides whether
+        and with what standing it gets in.  Used by adversary strategies
+        whose identities attack the front door (sybil swarms, reborn
+        whitewashers).  Returns the created :class:`Peer`.
+        """
+        self.setup()
+        now = self.clock.now if time is None else time
+        peer = self.population.create_peer(
+            behavior=behavior,
+            introducer_policy=introducer_policy,
+            is_founder=False,
+            arrived_at=now,
+        )
+        self._request_admission(peer, now)
         return peer
 
     # ------------------------------------------------------------------ #

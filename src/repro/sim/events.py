@@ -20,6 +20,8 @@ class EventKind(str, Enum):
     SAMPLE = "sample"
     #: A peer departs the community (used by churn/whitewashing scenarios).
     DEPARTURE = "departure"
+    #: The configured adversary strategy performs one scheduled action.
+    ADVERSARY = "adversary"
 
 
 @dataclass(order=True)

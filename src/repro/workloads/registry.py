@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..adversary import available_adversaries
 from ..config import SimulationParameters
 from . import scenarios as _presets
 
@@ -98,3 +99,15 @@ register_scenario("high_arrival_stress", "Figure 2 overload: 20x arrival rate")(
 register_scenario("whitewash_stress", "attack-heavy mix: 60% freeriding entrants")(
     lambda seed=1: _presets.whitewash_stress(base=_presets.paper_default(seed=seed))
 )
+
+# One attack preset per registered adversary strategy (the description comes
+# from the adversary registry, so the two catalogues cannot drift apart).
+for _adversary_name, _description in sorted(available_adversaries().items()):
+    register_scenario(
+        f"{_adversary_name}_attack", f"adversary preset: {_description}"
+    )(
+        lambda seed=1, _name=_adversary_name: _presets.adversary_attack(
+            _name, base=_presets.paper_default(seed=seed)
+        )
+    )
+del _adversary_name, _description

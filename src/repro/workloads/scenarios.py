@@ -7,6 +7,7 @@ individual fields with :meth:`~repro.config.SimulationParameters.with_overrides`
 
 from __future__ import annotations
 
+from ..adversary import default_adversary_spec
 from ..config import BootstrapMode, SimulationParameters, Topology
 
 __all__ = [
@@ -18,6 +19,7 @@ __all__ = [
     "fixed_credit_baseline",
     "high_arrival_stress",
     "whitewash_stress",
+    "adversary_attack",
 ]
 
 
@@ -91,3 +93,19 @@ def whitewash_stress(
     """
     params = base if base is not None else paper_default()
     return params.with_overrides(fraction_uncooperative=fraction_uncooperative)
+
+
+def adversary_attack(
+    name: str, base: SimulationParameters | None = None
+) -> SimulationParameters:
+    """The Table 1 operating point with one named adversary switched on.
+
+    The attack schedule is sized relative to the horizon through
+    :func:`repro.adversary.default_adversary_spec`, so the preset keeps its
+    shape when scaled down (the scenario registry exposes one such preset
+    per registered strategy).
+    """
+    params = base if base is not None else paper_default()
+    return params.with_overrides(
+        adversary=default_adversary_spec(name, params.num_transactions)
+    )

@@ -3,10 +3,15 @@
 from __future__ import annotations
 
 import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
 
 from repro.bench import (
     HotpathBenchConfig,
     bench_assignment_lookup,
+    bench_end_to_end,
     bench_ring_ops,
     legacy_membership_path,
     run_hotpath_benchmarks,
@@ -24,7 +29,42 @@ TINY = HotpathBenchConfig(
     churn_ops=8,
     lookup_ring_size=32,
     lookups=40,
+    warmup=0,
 )
+
+#: The report contract: consumers (CI artifact diffing, the committed
+#: repo-root report, the README tables) key into these names.
+EXPECTED_TOP_KEYS = {
+    "benchmark",
+    "description",
+    "created_unix",
+    "python",
+    "machine",
+    "config",
+    "end_to_end",
+    "micro",
+    "max_end_to_end_speedup",
+    "all_bit_identical",
+}
+EXPECTED_CONFIG_KEYS = {
+    "num_transactions",
+    "seed",
+    "ring_sizes",
+    "churn_ops",
+    "lookup_ring_size",
+    "lookups",
+    "warmup",
+}
+EXPECTED_END_TO_END_KEYS = {
+    "workload",
+    "num_transactions",
+    "arrival_rate",
+    "expected_arrivals",
+    "before",
+    "after",
+    "speedup",
+    "bit_identical",
+}
 
 
 class TestLegacyMode:
@@ -111,6 +151,56 @@ class TestReport:
         assert json.loads(path.read_text(encoding="utf-8")) == report
 
 
+class TestWarmupEdgeCases:
+    def test_quick_config_uses_zero_warmup_iterations(self):
+        assert HotpathBenchConfig.quick().warmup == 0
+        assert HotpathBenchConfig().warmup == 1  # full runs warm up by default
+
+    @pytest.mark.parametrize("warmup,expected_runs", [(0, 4), (1, 8), (2, 12)])
+    def test_warmup_runs_are_untimed_extras(self, monkeypatch, warmup, expected_runs):
+        """Each workload runs ``warmup`` extra untimed simulations per path."""
+        import repro.bench.hotpath as hotpath_module
+
+        calls: list[int] = []
+
+        def fake_timed_run(params):
+            calls.append(1)
+            return 0.5, "constant-digest"
+
+        monkeypatch.setattr(hotpath_module, "_timed_run", fake_timed_run)
+        rows = bench_end_to_end(replace(TINY, warmup=warmup))
+        assert len(calls) == expected_runs  # 2 workloads x 2 paths x (w + 1)
+        assert all(row["bit_identical"] for row in rows)
+
+    def test_zero_warmup_report_is_still_bit_identical(self):
+        """--quick semantics: skipping warm-up must not change any result."""
+        rows = bench_end_to_end(replace(TINY, warmup=0))
+        assert all(row["bit_identical"] for row in rows)
+
+
+class TestReportSchema:
+    """BENCH_hotpath.json is a contract: its keys must stay stable."""
+
+    def test_generated_report_keys(self):
+        report = run_hotpath_benchmarks(TINY)
+        assert set(report) == EXPECTED_TOP_KEYS
+        assert set(report["config"]) == EXPECTED_CONFIG_KEYS
+        assert set(report["micro"]) == {"ring_ops", "assignment_lookup"}
+        for row in report["end_to_end"]:
+            assert set(row) == EXPECTED_END_TO_END_KEYS
+            assert set(row["before"]) == {"elapsed_seconds", "tx_per_sec"}
+            assert set(row["after"]) == {"elapsed_seconds", "tx_per_sec"}
+
+    def test_committed_report_matches_the_schema(self):
+        committed_path = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+        committed = json.loads(committed_path.read_text(encoding="utf-8"))
+        assert set(committed) == EXPECTED_TOP_KEYS
+        assert set(committed["config"]) == EXPECTED_CONFIG_KEYS
+        for row in committed["end_to_end"]:
+            assert set(row) == EXPECTED_END_TO_END_KEYS
+        assert committed["all_bit_identical"] is True
+
+
 class TestCli:
     def test_quick_run_writes_report(self, tmp_path, capsys):
         out = tmp_path / "bench.json"
@@ -120,5 +210,40 @@ class TestCli:
         assert exit_code == 0
         report = json.loads(out.read_text(encoding="utf-8"))
         assert report["all_bit_identical"] is True
+        assert report["config"]["warmup"] == 0  # --quick skips warm-up
         captured = capsys.readouterr()
         assert "report written to" in captured.out
+
+    def test_warmup_flag_overrides_the_config(self, tmp_path, monkeypatch):
+        import repro.bench.__main__ as bench_cli
+
+        seen: dict[str, int] = {}
+
+        def fake_run(config):
+            seen["warmup"] = config.warmup
+            return {
+                "end_to_end": [],
+                "micro": {
+                    "ring_ops": [],
+                    "assignment_lookup": {
+                        "cold_us_per_lookup": 1.0,
+                        "cached_us_per_lookup": 1.0,
+                        "cache_speedup": 1.0,
+                        "targeted_eviction": {
+                            "evicted_by_one_join": 0,
+                            "cached_subjects": 0,
+                        },
+                    },
+                },
+                "all_bit_identical": True,
+            }
+
+        monkeypatch.setattr(bench_cli, "run_hotpath_benchmarks", fake_run)
+        out = tmp_path / "bench.json"
+        exit_code = bench_cli.main(["--quick", "--warmup", "3", "--out", str(out)])
+        assert exit_code == 0
+        assert seen["warmup"] == 3
+
+    def test_negative_warmup_is_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            bench_main(["--quick", "--warmup", "-1", "--out", str(tmp_path / "x")])

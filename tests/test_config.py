@@ -6,6 +6,7 @@ import pytest
 
 from repro.config import (
     PAPER_DEFAULTS,
+    AdversarySpec,
     BootstrapMode,
     SimulationParameters,
     Topology,
@@ -164,3 +165,33 @@ class TestSerialisation:
         data = SimulationParameters().to_dict()
         assert data["topology"] == "scale_free"
         assert data["bootstrap_mode"] == "lending"
+
+    def test_adversary_defaults_to_none_and_serialises_as_null(self):
+        params = SimulationParameters()
+        assert params.adversary is None
+        assert params.to_dict()["adversary"] is None
+        assert SimulationParameters.from_dict(params.to_dict()) == params
+
+    def test_adversary_accepts_a_bare_strategy_name(self):
+        params = SimulationParameters(adversary="slander")
+        assert isinstance(params.adversary, AdversarySpec)
+        assert params.adversary.name == "slander"
+
+    def test_adversary_round_trips_via_dict(self):
+        params = SimulationParameters(
+            adversary=AdversarySpec(
+                name="whitewash_waves", count=2, options={"burn_threshold": 0.25}
+            )
+        )
+        data = params.to_dict()
+        assert data["adversary"]["name"] == "whitewash_waves"
+        assert data["adversary"]["options"] == {"burn_threshold": 0.25}
+        assert SimulationParameters.from_dict(data) == params
+
+    def test_invalid_adversary_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(adversary="route_hijack")
+        with pytest.raises(ConfigurationError):
+            SimulationParameters(
+                adversary=AdversarySpec(name="slander", count=0)
+            )

@@ -65,6 +65,43 @@ class TestExampleScripts:
         assert "Reproduction report" in output
 
 
+class TestCatalogueListing:
+    """``--list-scenarios`` / ``--list-adversaries``: sorted, complete, exit 0."""
+
+    @staticmethod
+    def listed_names(output: str) -> list[str]:
+        return [line.split()[0] for line in output.strip().splitlines()]
+
+    def test_list_scenarios_is_sorted(self, capsys):
+        exit_code = runner.main(["--list-scenarios"])
+        assert exit_code == 0
+        names = self.listed_names(capsys.readouterr().out)
+        assert names == sorted(names)
+        assert "tiny_test" in names
+        # The attack presets generated from the adversary registry are listed.
+        assert "whitewash_waves_attack" in names
+        assert "sybil_swarm_attack" in names
+
+    def test_list_adversaries_is_sorted_and_matches_registry(self, capsys):
+        from repro.config import ADVERSARY_STRATEGIES
+
+        exit_code = runner.main(["--list-adversaries"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        names = self.listed_names(output)
+        assert names == sorted(names)
+        assert set(names) == set(ADVERSARY_STRATEGIES)
+        # Each entry carries a description, not just a bare name.
+        for line in output.strip().splitlines():
+            assert len(line.split(None, 1)) == 2, line
+
+    def test_listing_flags_short_circuit_before_any_simulation(self, capsys):
+        # Even combined with an expensive selection, listing exits immediately.
+        exit_code = runner.main(["--list-adversaries", "--only", "figure1"])
+        assert exit_code == 0
+        assert "figure1" not in capsys.readouterr().out
+
+
 class TestRunnerCli:
     def test_main_returns_zero_when_checks_pass(self, tmp_path, capsys):
         exit_code = runner.main(

@@ -14,6 +14,7 @@ from repro.experiments import (
     Figure4LentAmount,
     Figure5LentProportion,
     Figure6FreeriderFraction,
+    RobustnessMatrix,
     SchemeComparison,
     SuccessRateExperiment,
     Table1Parameters,
@@ -56,6 +57,7 @@ class TestRegistry:
             "figure5",
             "figure6",
             "scheme_comparison",
+            "robustness_matrix",
         }
 
     def test_make_experiment_unknown_id(self):
@@ -186,6 +188,55 @@ class TestSchemeComparison:
         from repro.experiments.scheme_comparison import MAX_COMPARISON_TRANSACTIONS
 
         experiment = SchemeComparison(scale=1.0, repeats=1, seed=1)
+        assert (
+            experiment._effective_scale()
+            * experiment.base_params.num_transactions
+            == pytest.approx(MAX_COMPARISON_TRANSACTIONS)
+        )
+
+
+class TestRobustnessMatrix:
+    def test_one_cell_per_scheme_attack_pair(self):
+        experiment = smoke(
+            RobustnessMatrix,
+            schemes=("rocq", "tit_for_tat"),
+            attacks=("whitewash_waves", "churn_storm"),
+        )
+        result = experiment.run_and_validate()
+        # 2 metrics per attack, each with one point per scheme.
+        assert len(result.series) == 4
+        for points in result.series.values():
+            assert len(points) == 2
+        assert set(result.x_ticks.values()) == {"rocq", "tit_for_tat"}
+        assert result.scalars["cells"] == 4.0
+        assert result.all_checks_passed
+
+    def test_lending_resists_whitewashing_that_a_baseline_concedes(self):
+        """The acceptance-criterion cell: rocq low, a trusting baseline high."""
+        experiment = smoke(
+            RobustnessMatrix,
+            schemes=("rocq", "tit_for_tat"),
+            attacks=("whitewash_waves",),
+        )
+        result = experiment.run()
+        gain = dict(result.series["whitewash_waves: attacker gain"])
+        assert gain[0.0] + 0.1 < gain[1.0]  # rocq vs tit_for_tat
+
+    def test_every_cell_carries_its_adversary_spec(self):
+        experiment = smoke(
+            RobustnessMatrix, schemes=("rocq",), attacks=("sybil_swarm",)
+        )
+        horizon = experiment.base_params.num_transactions
+        points = experiment._points(horizon)
+        assert len(points) == 1
+        spec = points[0].overrides["adversary"]
+        assert spec.name == "sybil_swarm"
+        assert spec.interval == pytest.approx(horizon / 8.0)
+
+    def test_horizon_is_capped_at_comparison_scale(self):
+        from repro.experiments.scheme_comparison import MAX_COMPARISON_TRANSACTIONS
+
+        experiment = RobustnessMatrix(scale=1.0, repeats=1, seed=1)
         assert (
             experiment._effective_scale()
             * experiment.base_params.num_transactions

@@ -3,10 +3,16 @@
 from __future__ import annotations
 
 import json
+import random
 
 import pytest
 
-from repro.config import SimulationParameters
+from repro.config import (
+    ADVERSARY_STRATEGIES,
+    REPUTATION_SCHEMES,
+    AdversarySpec,
+    SimulationParameters,
+)
 from repro.experiments import run_all
 from repro.metrics.summary import RunSummary
 from repro.parallel import (
@@ -145,6 +151,55 @@ class TestBackendDeterminism:
         assert json.dumps(serial["figure1"].to_dict(), sort_keys=True) == json.dumps(
             parallel["figure1"].to_dict(), sort_keys=True
         )
+
+
+class TestAdversaryDeterminismAcrossBackends:
+    """Randomized property: any (adversary, scheme) cell is backend-invariant.
+
+    Samples random cells of the scheme x attack grid — with randomized
+    attack knobs — and asserts the serial, thread and process executors
+    produce bit-identical summaries at ``--jobs 4``.  This extends the
+    parallel subsystem's determinism guarantee to the adversary subsystem:
+    adversary randomness must come only from the seed-derived ``adversary``
+    stream, never from process-local state.
+    """
+
+    #: Seeded sampler: the test is random but reproducible run to run.
+    SAMPLES = 4
+
+    @staticmethod
+    def _random_cells() -> list[tuple[str, str, AdversarySpec]]:
+        sampler = random.Random(20260729)
+        cells = []
+        for _ in range(TestAdversaryDeterminismAcrossBackends.SAMPLES):
+            attack = sampler.choice(ADVERSARY_STRATEGIES)
+            scheme = sampler.choice(REPUTATION_SCHEMES)
+            spec = AdversarySpec(
+                name=attack,
+                count=sampler.randint(1, 4),
+                start_time=float(sampler.randint(50, 200)),
+                interval=float(sampler.randint(50, 200)),
+            )
+            cells.append((attack, scheme, spec))
+        return cells
+
+    def test_sampled_cells_are_bit_identical_across_executors(self):
+        points = [
+            SweepPoint(
+                label=f"{scheme}|{attack}-{index}",
+                x=float(index),
+                overrides={"reputation_scheme": scheme, "adversary": spec},
+            )
+            for index, (attack, scheme, spec) in enumerate(self._random_cells())
+        ]
+        sweep = ParameterSweep(
+            name="adversary-property", base=TINY, points=points, repeats=1
+        )
+        serial = sweep.run()
+        threaded = sweep.run(executor=ThreadExecutor(4))
+        processed = sweep.run(executor=ProcessExecutor(4))
+        assert summary_dicts(serial) == summary_dicts(threaded)
+        assert summary_dicts(serial) == summary_dicts(processed)
 
 
 class TestRunCache:
