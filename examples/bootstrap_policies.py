@@ -13,6 +13,9 @@ themselves).  We compare three ways of treating newcomers:
 * **fixed credit** — everyone receives a flat starting credit, as BitTorrent's
   optimistic unchoking or Scrivener's initial balance do.
 
+Each policy is one :class:`~repro.api.RunRequest`; the three are submitted
+as a single batch, so a parallel service overlaps them on its worker pool.
+
 Run with::
 
     python examples/bootstrap_policies.py
@@ -20,13 +23,29 @@ Run with::
 
 from __future__ import annotations
 
-from repro import BootstrapMode, SimulationParameters, run_simulation
+from repro import BootstrapMode
 from repro.analysis.tables import format_table
+from repro.api import RunRequest, SimulationService
+
+POLICIES = (BootstrapMode.LENDING, BootstrapMode.OPEN, BootstrapMode.FIXED_CREDIT)
 
 
-def run_policy(mode: BootstrapMode, params: SimulationParameters):
-    """Run one policy and distill the numbers the comparison cares about."""
-    summary = run_simulation(params.with_overrides(bootstrap_mode=mode))
+def policy_request(mode: BootstrapMode) -> RunRequest:
+    """The request running the motivating community under one policy."""
+    return RunRequest(
+        seed=11,
+        scale=0.06,
+        label=mode.value,
+        overrides={
+            "fraction_uncooperative": 0.25,
+            "arrival_rate": 0.02,
+            "bootstrap_mode": mode.value,
+        },
+    )
+
+
+def distill(mode: BootstrapMode, summary) -> dict[str, str]:
+    """The numbers the comparison cares about, formatted for the table."""
     freerider_fraction_admitted = summary.admitted_uncooperative / max(
         1, summary.arrivals_uncooperative
     )
@@ -43,11 +62,8 @@ def run_policy(mode: BootstrapMode, params: SimulationParameters):
 
 
 def main() -> None:
-    params = SimulationParameters(
-        seed=11,
-        fraction_uncooperative=0.25,
-        arrival_rate=0.02,
-    ).scaled(0.06)
+    requests = [policy_request(mode) for mode in POLICIES]
+    params = requests[0].resolve()
     print(
         f"File-sharing community: {params.num_initial_peers} founders, "
         f"~{params.expected_arrivals():.0f} arrivals over "
@@ -55,10 +71,11 @@ def main() -> None:
         f"{params.fraction_uncooperative:.0%} of arrivals are freeriders.\n"
     )
 
+    with SimulationService() as service:
+        batch = service.run_batch(requests)
+
     rows = [
-        run_policy(mode, params)
-        for mode in (BootstrapMode.LENDING, BootstrapMode.OPEN,
-                     BootstrapMode.FIXED_CREDIT)
+        distill(mode, result.summary) for mode, result in zip(POLICIES, batch)
     ]
     headers = list(rows[0])
     print(format_table(headers, [[row[h] for h in headers] for row in rows]))

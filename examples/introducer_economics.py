@@ -10,7 +10,11 @@ Two questions a community operator deploying reputation lending would ask:
    (they vouch for anyone who asks), how many freeriders get in — and do the
    naive members pay for it?
 
-Both questions are answered with small parameter sweeps over the public API.
+Both questions are answered with small parameter sweeps run through one
+:class:`~repro.api.SimulationService`, which owns the executor and run
+cache for every sweep (swap ``SimulationService()`` for
+``SimulationService(jobs=4)`` to run the sweep points in parallel —
+results are bit-identical either way).
 
 Run with::
 
@@ -22,10 +26,11 @@ from __future__ import annotations
 from repro import SimulationParameters
 from repro.analysis.plotting import ascii_plot
 from repro.analysis.tables import format_table
+from repro.api import SimulationService
 from repro.workloads.sweep import ParameterSweep, SweepPoint
 
 
-def stake_size_sweep(base: SimulationParameters) -> None:
+def stake_size_sweep(service: SimulationService, base: SimulationParameters) -> None:
     """Question 1: sweep the lent amount (the paper's Figure 4/5 axis)."""
     amounts = (0.05, 0.15, 0.25, 0.35, 0.45)
     sweep = ParameterSweep(
@@ -38,7 +43,7 @@ def stake_size_sweep(base: SimulationParameters) -> None:
         ],
         repeats=1,
     )
-    result = sweep.run()
+    result = service.sweep(sweep)
     admitted = result.series(lambda s: float(s.final_total))
     refused_stake = result.series(
         lambda s: float(s.refused_due_to_introducer_reputation)
@@ -54,7 +59,9 @@ def stake_size_sweep(base: SimulationParameters) -> None:
     print()
 
 
-def introducer_discipline_sweep(base: SimulationParameters) -> None:
+def introducer_discipline_sweep(
+    service: SimulationService, base: SimulationParameters
+) -> None:
     """Question 2: sweep the fraction of naive introducers (Figure 3 axis)."""
     fractions = (0.0, 0.5, 1.0)
     sweep = ParameterSweep(
@@ -67,7 +74,7 @@ def introducer_discipline_sweep(base: SimulationParameters) -> None:
         ],
         repeats=1,
     )
-    result = sweep.run()
+    result = service.sweep(sweep)
     uncoop = result.series(lambda s: float(s.final_uncooperative))
     stakes_lost = result.series(lambda s: s.total_stakes_lost)
     print("How introducer discipline shapes the community")
@@ -95,8 +102,9 @@ def main() -> None:
         f"Each configuration below simulates {base.num_transactions:,} "
         f"transactions with ~{base.expected_arrivals():.0f} arrivals.\n"
     )
-    stake_size_sweep(base)
-    introducer_discipline_sweep(base)
+    with SimulationService() as service:
+        stake_size_sweep(service, base)
+        introducer_discipline_sweep(service, base)
     print(
         "Takeaways: a moderate stake (~0.1-0.15) already disciplines introducers"
         "\nwithout pricing them out, and even a fully naive community is partly"

@@ -23,6 +23,7 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
+from repro.api import catalogue
 from repro.reputation import compare_newcomer_treatment
 
 
@@ -57,6 +58,12 @@ def main() -> None:
         "\nrefundable stake — run examples/bootstrap_policies.py to see how that"
         "\nplays out inside the full simulator."
     )
+    print(
+        "\nEvery system above also runs inside the full simulation, as a"
+        "\npluggable scheme (python -m repro catalogue schemes):\n"
+    )
+    for name, description in sorted(catalogue()["schemes"].items()):
+        print(f"  {name:14s} {description}")
 
 
 if __name__ == "__main__":

@@ -1,32 +1,40 @@
 #!/usr/bin/env python3
-"""Quickstart: run one reputation-lending community and inspect the outcome.
+"""Quickstart: run one reputation-lending community through the public API.
 
-This is the smallest useful program against the public API: configure the
-simulation (the defaults are the paper's Table 1, scaled down here so the
-script finishes in a few seconds), run it, and look at what the lending
+This is the smallest useful program against :mod:`repro.api`: describe the
+run as a :class:`~repro.api.RunRequest` (the defaults are the paper's
+Table 1, scaled down here so the script finishes in a few seconds), hand it
+to a :class:`~repro.api.SimulationService`, and look at what the lending
 mechanism did — who got in, who was kept out, and how reputations evolved.
 
 Run with::
 
     python examples/quickstart.py
+
+The same request runs from the shell as::
+
+    python -m repro run --seed 7 --scale 0.08
 """
 
 from __future__ import annotations
 
-from repro import SimulationParameters, run_simulation
 from repro.analysis.plotting import sparkline
 from repro.analysis.tables import format_table
+from repro.api import RunRequest, SimulationService
 
 
 def main() -> None:
     # The paper's operating point, shortened from 500k to 40k transactions so
     # the example runs in a few seconds.  All other Table 1 values apply.
-    params = SimulationParameters(seed=7).scaled(0.08)
+    request = RunRequest(seed=7, scale=0.08)
+    params = request.resolve()
     print(f"Simulating {params.num_transactions:,} transactions "
           f"(arrival rate {params.arrival_rate}, "
           f"{params.fraction_uncooperative:.0%} of arrivals uncooperative)...\n")
 
-    summary = run_simulation(params)
+    with SimulationService() as service:
+        result = service.run(request)
+    summary = result.summary
 
     print(format_table(
         ["quantity", "value"],

@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
 """Regenerate every table and figure of the paper and write a report.
 
-This drives the same experiment harness the benchmark suite uses.  By default
-it runs at 4 % of the paper's horizon with a single repeat per sweep point so
-the whole thing finishes in a few minutes; pass ``--scale 1.0 --repeats 10``
-to run the paper's exact operating point (hours of CPU time).
+This drives the same experiment orchestration the consolidated CLI uses
+(:meth:`repro.api.SimulationService.run_experiments`).  By default it runs
+at 4 % of the paper's horizon with a single repeat per sweep point so the
+whole thing finishes in a few minutes; pass ``--scale 1.0 --repeats 10`` to
+run the paper's exact operating point (hours of CPU time), and ``--jobs N``
+to spread the simulations over worker processes — results are bit-identical
+for any job count.
 
 Run with::
 
@@ -18,7 +21,8 @@ import sys
 from pathlib import Path
 
 from repro.analysis.storage import ResultStore
-from repro.experiments import render_report, run_all
+from repro.api import SimulationService
+from repro.experiments import render_report
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -30,19 +34,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--only", nargs="*", default=None,
                         help="subset of experiments (e.g. figure1 figure4)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="simulations to run concurrently (1 = serial)")
     parser.add_argument("--out", type=Path, default=Path("results"),
                         help="output directory for JSON results and report.md")
     args = parser.parse_args(argv)
 
     store = ResultStore(args.out)
-    results = run_all(
-        scale=args.scale,
-        repeats=args.repeats,
-        seed=args.seed,
-        only=args.only,
-        store=store,
-        progress=lambda message: print(message, file=sys.stderr),
-    )
+    with SimulationService(jobs=args.jobs) as service:
+        results = service.run_experiments(
+            scale=args.scale,
+            repeats=args.repeats,
+            seed=args.seed,
+            only=args.only,
+            store=store,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
     report = render_report(results)
     report_path = store.root / "report.md"
     report_path.write_text(report, encoding="utf-8")

@@ -16,7 +16,10 @@ Quickstart::
     print(f"uncooperative peers: {summary.final_uncooperative}")
     print(f"decision success:    {summary.success_rate:.2%}")
 
-The experiment harness that regenerates every figure of the paper lives in
+The typed public facade — :class:`~repro.api.RunRequest`,
+:class:`~repro.api.SimulationService`, the unified registry catalogue —
+lives in :mod:`repro.api` (command-line face: ``python -m repro``).  The
+experiment harness that regenerates every figure of the paper lives in
 :mod:`repro.experiments`; parameter sweeps and scenario presets in
 :mod:`repro.workloads`; tables/plots/persistence helpers in
 :mod:`repro.analysis`.

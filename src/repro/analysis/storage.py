@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import csv
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Sequence
@@ -36,10 +37,19 @@ class ResultStore:
         return self.root / f"{slug}{suffix}"
 
     def save_json(self, name: str, document: Any) -> Path:
-        """Write ``document`` (anything JSON-serialisable) and return its path."""
+        """Write ``document`` (anything JSON-serialisable) and return its path.
+
+        The write is atomic (temp file + rename), so readers never observe a
+        torn document — the store is shared by concurrently submitted runs
+        (:meth:`repro.api.SimulationService.submit`) through the run cache,
+        where a half-written file would otherwise poison the (params, seed)
+        key for good.
+        """
         path = self.path_for(name)
-        with open(path, "w", encoding="utf-8") as handle:
+        temp_path = path.with_name(f"{path.name}.tmp-{os.getpid()}-{id(document)}")
+        with open(temp_path, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True, allow_nan=True)
+        os.replace(temp_path, path)
         return path
 
     def load_json(self, name: str) -> Any:

@@ -1,0 +1,55 @@
+"""Errors raised by the public API layer.
+
+Both errors stay inside the library's existing hierarchy
+(:class:`~repro.errors.ReproError`), so callers that already catch library
+errors keep working; :class:`UnknownNameError` additionally carries enough
+structure (kind, offending name, known names, closest match) for the CLI to
+render a consistent did-you-mean message and exit with code 2.
+"""
+
+from __future__ import annotations
+
+from difflib import get_close_matches
+from typing import Iterable
+
+from ..errors import ConfigurationError, ReproError
+
+__all__ = ["UnknownNameError", "RunCancelledError", "did_you_mean"]
+
+
+def did_you_mean(name: object, known: Iterable[str]) -> str | None:
+    """The registry entry closest to ``name``, or ``None`` when nothing is."""
+    matches = get_close_matches(str(name), [str(k) for k in known], n=1, cutoff=0.5)
+    return matches[0] if matches else None
+
+
+class UnknownNameError(ConfigurationError):
+    """A name failed to resolve against the registry that should know it.
+
+    Attributes
+    ----------
+    kind:
+        What was being looked up (``"scenario"``, ``"reputation scheme"``,
+        ``"adversary strategy"``, ``"experiment"``, ...).
+    name:
+        The name that failed to resolve.
+    known:
+        The sorted names the registry does know.
+    hint:
+        The closest known name, or ``None`` when nothing is close.
+    """
+
+    def __init__(self, kind: str, name: object, known: Iterable[str]) -> None:
+        self.kind = kind
+        self.name = name
+        self.known = tuple(sorted(str(k) for k in known))
+        self.hint = did_you_mean(name, self.known)
+        message = f"unknown {kind} {name!r}"
+        if self.hint is not None:
+            message += f"; did you mean {self.hint!r}?"
+        message += f" (known: {', '.join(self.known)})"
+        super().__init__(message)
+
+
+class RunCancelledError(ReproError):
+    """The run was cancelled through its handle before every repeat finished."""

@@ -1,0 +1,113 @@
+"""Result value objects returned by :class:`~repro.api.service.SimulationService`.
+
+A :class:`RunResult` bundles the request, the parameters it resolved to and
+one :class:`~repro.metrics.summary.RunSummary` per repeat; a
+:class:`BatchResult` is an ordered collection of run results.  Both expose a
+:meth:`digest` computed over the summaries *minus wall-clock time* — the
+currency of this repo's golden tests: two execution paths are equivalent
+exactly when their digests match.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from ..config import SimulationParameters
+from ..metrics.summary import RunSummary
+from ..workloads.sweep import aggregate_mean
+from .request import RunRequest
+
+__all__ = ["summary_digest", "RunResult", "BatchResult"]
+
+
+def summary_digest(summary: RunSummary) -> str:
+    """Digest of one run summary, ignoring wall-clock time."""
+    document = summary.to_dict()
+    document.pop("elapsed_seconds", None)
+    text = json.dumps(document, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one executed :class:`RunRequest` produced.
+
+    Attributes
+    ----------
+    request:
+        The request as executed.
+    params:
+        The resolved parameters every repeat ran with.
+    summaries:
+        One summary per repeat, in repeat order (independent of backend).
+    backend:
+        Name of the executor backend the service used (informational).
+    cache_hits:
+        How many repeats were served from the run cache.
+    """
+
+    request: RunRequest
+    params: SimulationParameters
+    summaries: tuple[RunSummary, ...]
+    backend: str = "serial"
+    cache_hits: int = 0
+
+    @property
+    def summary(self) -> RunSummary:
+        """The first repeat's summary (the whole result for repeats == 1)."""
+        return self.summaries[0]
+
+    def mean(self, getter: Callable[[RunSummary], float]) -> tuple[float, float]:
+        """(mean, sample std) of ``getter`` across the repeats."""
+        return aggregate_mean([getter(summary) for summary in self.summaries])
+
+    def digest(self) -> str:
+        """Digest over every repeat's summary, ignoring wall-clock time.
+
+        Equal digests mean bit-identical results — the equivalence the
+        golden tests assert between the service and each legacy path.
+        """
+        joined = "\n".join(summary_digest(summary) for summary in self.summaries)
+        return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation (used by ``repro run --json``)."""
+        return {
+            "request": self.request.to_dict(),
+            "params": self.params.to_dict(),
+            "summaries": [summary.to_dict() for summary in self.summaries],
+            "backend": self.backend,
+            "cache_hits": self.cache_hits,
+            "digest": self.digest(),
+        }
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Results of a batch of requests, in submission order."""
+
+    results: tuple[RunResult, ...]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[RunResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> RunResult:
+        return self.results[index]
+
+    def digest(self) -> str:
+        """Digest over every result's digest, in submission order."""
+        joined = "\n".join(result.digest() for result in self.results)
+        return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation."""
+        return {
+            "results": [result.to_dict() for result in self.results],
+            "digest": self.digest(),
+        }

@@ -1,96 +1,29 @@
-"""Command-line entry point: ``python -m repro.bench``.
+"""Deprecated entry point: ``python -m repro.bench``.
 
-Runs the hot-path benchmark suite and writes ``BENCH_hotpath.json`` (see
-:mod:`repro.bench.hotpath` for what is measured).  ``--quick`` selects a
-seconds-scale configuration used by the CI smoke job; the default sizes are
-what the committed repo-root report was produced with.
+The benchmark CLI moved into the consolidated front door — ``python -m
+repro bench`` (see :mod:`repro.cli`), which runs the suite through
+:meth:`repro.api.SimulationService.bench`.  This shim forwards every flag
+unchanged, so existing automation (CI, ``benchmarks/bench_hotpath.py``)
+keeps working with byte-identical stdout; only a deprecation note is added,
+on stderr.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-from dataclasses import replace
-
-from .hotpath import HotpathBenchConfig, run_hotpath_benchmarks, write_report
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.bench",
-        description="Benchmark the membership-change hot path and write a "
-        "JSON report",
-    )
-    parser.add_argument(
-        "--out",
-        default="BENCH_hotpath.json",
-        help="where to write the JSON report (default: ./BENCH_hotpath.json)",
-    )
-    parser.add_argument(
-        "--transactions",
-        type=int,
-        default=5_000,
-        help="horizon of each end-to-end workload run (default: 5000)",
-    )
-    parser.add_argument("--seed", type=int, default=1, help="master seed")
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="tiny sizes for CI smoke runs (overrides --transactions; "
-        "runs with 0 warmup iterations)",
-    )
-    parser.add_argument(
-        "--warmup",
-        type=int,
-        default=None,
-        help="untimed end-to-end runs before each timed one "
-        "(default: 1, or 0 with --quick)",
-    )
-    args = parser.parse_args(argv)
-    if args.warmup is not None and args.warmup < 0:
-        parser.error("--warmup must be >= 0")
+    # Imported here, not at module top: the CLI imports the bench package.
+    from .. import cli
 
-    if args.quick:
-        config = HotpathBenchConfig.quick()
-    else:
-        config = HotpathBenchConfig(
-            num_transactions=args.transactions, seed=args.seed
-        )
-    if args.warmup is not None:
-        config = replace(config, warmup=args.warmup)
-
+    argv = list(sys.argv[1:] if argv is None else argv)
     print(
-        f"benchmarking hot path ({config.num_transactions:,} transactions "
-        f"per end-to-end run, ring sizes {list(config.ring_sizes)}) ...",
+        "note: `python -m repro.bench` is deprecated; use "
+        "`python -m repro bench` (same flags)",
         file=sys.stderr,
     )
-    report = run_hotpath_benchmarks(config)
-    path = write_report(report, args.out)
-
-    for row in report["end_to_end"]:
-        print(
-            f"{row['workload']:16s} {row['before']['tx_per_sec']:>10,.0f} -> "
-            f"{row['after']['tx_per_sec']:>10,.0f} tx/s "
-            f"({row['speedup']:.2f}x, bit_identical={row['bit_identical']})"
-        )
-    for row in report["micro"]["ring_ops"]:
-        print(
-            f"ring n={row['ring_size']:<6d} {row['before_us_per_op']:>8.1f} -> "
-            f"{row['after_us_per_op']:>6.1f} us/op ({row['speedup']:.0f}x)"
-        )
-    lookup = report["micro"]["assignment_lookup"]
-    print(
-        f"assignment lookup: cold {lookup['cold_us_per_lookup']:.1f} us, "
-        f"cached {lookup['cached_us_per_lookup']:.1f} us "
-        f"({lookup['cache_speedup']:.0f}x); one join evicted "
-        f"{lookup['targeted_eviction']['evicted_by_one_join']} of "
-        f"{lookup['targeted_eviction']['cached_subjects']} cached subjects"
-    )
-    print(f"report written to {path}")
-    if not report["all_bit_identical"]:
-        print("ERROR: legacy and incremental paths diverged!", file=sys.stderr)
-        return 1
-    return 0
+    return cli.main(["bench", *argv])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,493 @@
+"""The consolidated command-line front door: ``python -m repro``.
+
+Four subcommands, all thin shims over :class:`repro.api.SimulationService`:
+
+``run``
+    Execute one :class:`~repro.api.RunRequest` — scenario, scheme,
+    adversary, ``--set`` parameter overrides, seed/repeats — and print a
+    summary table (or the full JSON result with ``--json``).
+``experiment``
+    The experiment suite (tables/figures of the paper), with the exact flags
+    ``python -m repro.experiments.runner`` always had.
+``bench``
+    The hot-path benchmark suite, with the exact flags ``python -m
+    repro.bench`` always had.
+``catalogue``
+    Every registry — reputation schemes, scenarios, adversaries,
+    experiments — as text or ``--json``.
+
+Error handling is uniform: any name that fails to resolve against a
+registry (scheme, scenario, adversary, experiment) exits with code 2 and a
+did-you-mean hint on stderr, whatever subcommand it came through.
+
+The legacy entry points (``python -m repro.experiments.runner``, ``python
+-m repro.bench``) remain as deprecation shims that delegate here with
+byte-identical stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from pathlib import Path
+from typing import Any
+
+from .analysis.tables import format_table
+from .api import RunRequest, SimulationService, UnknownNameError
+from .api.catalogue import (
+    CATALOGUE_SECTIONS,
+    catalogue as build_catalogue,
+    resolve_scenario,
+    resolve_scheme,
+)
+from .config import REPUTATION_SCHEMES, SimulationParameters
+from .errors import ConfigurationError
+from .parallel.executor import BACKENDS
+
+__all__ = ["main", "build_parser"]
+
+_PROG = "python -m repro"
+
+
+def _stderr(line: str) -> None:
+    print(line, file=sys.stderr)
+
+
+def _add_executor_options(parser: argparse.ArgumentParser) -> None:
+    """The executor/cache flags shared by every simulation subcommand."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="simulations to run concurrently (1 = serial)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help="executor backend (default: serial for --jobs 1, process otherwise)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=(
+            "persist completed runs here, keyed by (params fingerprint, seed), "
+            "and skip any run already present"
+        ),
+    )
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+# --------------------------------------------------------------------- #
+# catalogue                                                               #
+# --------------------------------------------------------------------- #
+def _cmd_catalogue(args: argparse.Namespace) -> int:
+    sections = build_catalogue()
+    if args.section is not None:
+        sections = {args.section: sections[args.section]}
+    if args.json:
+        print(json.dumps(sections, indent=2, sort_keys=True))
+        return 0
+    for index, (section, entries) in enumerate(sections.items()):
+        if args.section is None:
+            if index:
+                print()
+            print(f"[{section}]")
+        for name, description in sorted(entries.items()):
+            print(f"{name:24s} {description}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# run                                                                     #
+# --------------------------------------------------------------------- #
+def _parse_overrides(items: list[str] | None) -> dict[str, Any]:
+    overrides: dict[str, Any] = {}
+    for item in items or []:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise ConfigurationError(f"--set expects KEY=VALUE, got {item!r}")
+        try:
+            value: Any = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw  # bare strings (e.g. --set bootstrap_mode=open)
+        overrides[key] = value
+    return overrides
+
+
+def _parse_adversary(text: str | None) -> Any:
+    if text is None:
+        return None
+    if text.lstrip().startswith("{"):
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"--adversary is not valid JSON: {exc}") from None
+    return text
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    request = RunRequest(
+        scenario=args.scenario,
+        scheme=args.scheme,
+        adversary=_parse_adversary(args.adversary),
+        overrides=_parse_overrides(args.set),
+        scale=args.scale,
+        seed=args.seed,
+        repeats=args.repeats,
+        label=args.label,
+    )
+    progress = None if args.quiet else _stderr
+    with SimulationService(
+        jobs=args.jobs, backend=args.backend, cache=args.cache_dir
+    ) as service:
+        backend = service.backend
+        result = service.run(request, progress=progress)
+        if service.cache is not None:
+            _stderr(
+                f"(run cache: {service.cache.hits} hit(s), "
+                f"{service.cache.misses} miss(es) under "
+                f"{service.cache.store.root})"
+            )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    params = result.params
+    print(
+        f"{request.run_label()}: {request.repeats} repeat(s) x "
+        f"{params.num_transactions:,} transactions, "
+        f"scheme={params.reputation_scheme}, "
+        f"adversary={params.adversary.name if params.adversary else 'none'}, "
+        f"backend={backend}"
+    )
+    metrics = [
+        ("decision success rate", lambda s: s.success_rate),
+        ("cooperative arrivals", lambda s: float(s.arrivals_cooperative)),
+        ("uncooperative arrivals", lambda s: float(s.arrivals_uncooperative)),
+        ("cooperative admitted", lambda s: float(s.admitted_cooperative)),
+        ("uncooperative admitted", lambda s: float(s.admitted_uncooperative)),
+        ("final community size", lambda s: float(s.final_total)),
+        ("final uncooperative fraction", lambda s: s.final_uncooperative_fraction),
+    ]
+    rows = []
+    for name, getter in metrics:
+        mean, std = result.mean(getter)
+        rows.append([name, f"{mean:.4g}", f"{std:.3g}"])
+    print(format_table(["metric", "mean", "std"], rows))
+    print(f"digest: {result.digest()}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# experiment                                                              #
+# --------------------------------------------------------------------- #
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    # Imported per command: only this subcommand needs the experiments
+    # package (every figure module) and the result store.
+    from .analysis.storage import ResultStore
+    from .api.catalogue import resolve_experiment_ids
+    from .experiments.runner import render_report
+
+    base_params: SimulationParameters | None = None
+    if args.scenario is not None:
+        base_params = resolve_scenario(args.scenario, seed=args.seed)
+    if args.scheme is not None:
+        scheme = resolve_scheme(args.scheme)
+        base_params = (
+            base_params
+            if base_params is not None
+            else SimulationParameters(seed=args.seed)
+        ).with_overrides(reputation_scheme=scheme)
+    only = resolve_experiment_ids(args.only) if args.only is not None else None
+    # A named scenario is already sized; only the paper-default base needs the
+    # laptop-friendly 0.1 downscale.
+    scale = args.scale if args.scale is not None else (
+        1.0 if args.scenario is not None else 0.1
+    )
+    store = ResultStore(args.out) if args.out is not None else None
+    with SimulationService(
+        jobs=args.jobs, backend=args.backend, cache=args.cache_dir
+    ) as service:
+        results = service.run_experiments(
+            scale=scale,
+            repeats=args.repeats,
+            seed=args.seed,
+            only=only,
+            store=store,
+            progress=_stderr,
+            base_params=base_params,
+            throughput=args.throughput,
+        )
+        cache = service.cache
+    report = render_report(results)
+    print(report)
+    if store is not None:
+        report_path = store.root / "report.md"
+        report_path.write_text(report, encoding="utf-8")
+        _stderr(f"(report written to {report_path})")
+    if cache is not None:
+        _stderr(
+            f"(run cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+            f"under {cache.store.root})"
+        )
+    failures = sum(
+        1
+        for result in results.values()
+        for check in result.checks
+        if not check.passed
+    )
+    return 1 if failures else 0
+
+
+# --------------------------------------------------------------------- #
+# bench                                                                   #
+# --------------------------------------------------------------------- #
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Imported per command: only this subcommand needs the bench package.
+    from .bench.hotpath import HotpathBenchConfig, write_report
+
+    if args.quick:
+        config = HotpathBenchConfig.quick()
+    else:
+        config = HotpathBenchConfig(
+            num_transactions=args.transactions,
+            seed=args.seed,
+        )
+    if args.warmup is not None:
+        config = replace(config, warmup=args.warmup)
+
+    _stderr(
+        f"benchmarking hot path ({config.num_transactions:,} transactions "
+        f"per end-to-end run, ring sizes {list(config.ring_sizes)}) ..."
+    )
+    with SimulationService() as service:
+        report = service.bench(config)
+    path = write_report(report, args.out)
+
+    for row in report["end_to_end"]:
+        print(
+            f"{row['workload']:16s} {row['before']['tx_per_sec']:>10,.0f} -> "
+            f"{row['after']['tx_per_sec']:>10,.0f} tx/s "
+            f"({row['speedup']:.2f}x, bit_identical={row['bit_identical']})"
+        )
+    for row in report["micro"]["ring_ops"]:
+        print(
+            f"ring n={row['ring_size']:<6d} {row['before_us_per_op']:>8.1f} -> "
+            f"{row['after_us_per_op']:>6.1f} us/op ({row['speedup']:.0f}x)"
+        )
+    lookup = report["micro"]["assignment_lookup"]
+    print(
+        f"assignment lookup: cold {lookup['cold_us_per_lookup']:.1f} us, "
+        f"cached {lookup['cached_us_per_lookup']:.1f} us "
+        f"({lookup['cache_speedup']:.0f}x); one join evicted "
+        f"{lookup['targeted_eviction']['evicted_by_one_join']} of "
+        f"{lookup['targeted_eviction']['cached_subjects']} cached subjects"
+    )
+    print(f"report written to {path}")
+    if not report["all_bit_identical"]:
+        _stderr("ERROR: legacy and incremental paths diverged!")
+        return 1
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# Parser assembly                                                         #
+# --------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (one subparser per workflow)."""
+    parser = argparse.ArgumentParser(
+        prog=_PROG,
+        description=(
+            "Reputation-lending reproduction: run simulations, regenerate "
+            "the paper's experiments, benchmark the hot path, or list every "
+            "registry — all through the repro.api service layer."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run",
+        help="run one simulation configuration and summarise the outcome",
+    )
+    run_parser.add_argument(
+        "--scenario",
+        default=None,
+        help="base parameters from the scenario registry (default: Table 1)",
+    )
+    run_parser.add_argument(
+        "--scheme",
+        default=None,
+        help=f"reputation backend (one of: {', '.join(REPUTATION_SCHEMES)})",
+    )
+    run_parser.add_argument(
+        "--adversary",
+        default=None,
+        help=(
+            "adversary strategy name, or a JSON AdversarySpec object "
+            '(e.g. \'{"name": "sybil_swarm", "count": 8}\')'
+        ),
+    )
+    run_parser.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override one SimulationParameters field (repeatable)",
+    )
+    run_parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="horizon scaling applied after everything else (default: 1.0)",
+    )
+    run_parser.add_argument("--seed", type=int, default=1, help="master seed")
+    run_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="independent repetitions (each with its own derived seed)",
+    )
+    run_parser.add_argument(
+        "--label", default="", help="tag used in progress lines and derived seeds"
+    )
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full RunResult document instead of the summary table",
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress on stderr"
+    )
+    _add_executor_options(run_parser)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    experiment_parser = subparsers.add_parser(
+        "experiment",
+        help="regenerate the paper's tables and figures (the legacy runner)",
+    )
+    experiment_parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help=(
+            "fraction of the base horizon (default: 0.1 of the paper's 500k "
+            "transactions, or 1.0 when --scenario already sizes the run)"
+        ),
+    )
+    experiment_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="independent repetitions per sweep point",
+    )
+    experiment_parser.add_argument("--seed", type=int, default=1, help="master seed")
+    experiment_parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="subset of experiment ids to run (see `catalogue experiments`)",
+    )
+    experiment_parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory for JSON results and the Markdown report",
+    )
+    experiment_parser.add_argument(
+        "--scenario",
+        default=None,
+        help="base parameters from the scenario registry",
+    )
+    experiment_parser.add_argument(
+        "--scheme",
+        default=None,
+        help=f"reputation backend (one of: {', '.join(REPUTATION_SCHEMES)})",
+    )
+    experiment_parser.add_argument(
+        "--throughput",
+        action="store_true",
+        help=(
+            "print transactions/sec for every completed simulation run "
+            "(cache hits are not re-reported)"
+        ),
+    )
+    _add_executor_options(experiment_parser)
+    experiment_parser.set_defaults(handler=_cmd_experiment)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="benchmark the membership-change hot path and write a JSON report",
+    )
+    bench_parser.add_argument(
+        "--out",
+        default="BENCH_hotpath.json",
+        help="where to write the JSON report (default: ./BENCH_hotpath.json)",
+    )
+    bench_parser.add_argument(
+        "--transactions",
+        type=int,
+        default=5_000,
+        help="horizon of each end-to-end workload run (default: 5000)",
+    )
+    bench_parser.add_argument("--seed", type=int, default=1, help="master seed")
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny sizes for CI smoke runs (overrides --transactions; "
+        "runs with 0 warmup iterations)",
+    )
+    bench_parser.add_argument(
+        "--warmup",
+        type=_nonnegative_int,
+        default=None,
+        help="untimed end-to-end runs before each timed one "
+        "(default: 1, or 0 with --quick)",
+    )
+    bench_parser.set_defaults(handler=_cmd_bench)
+
+    catalogue_parser = subparsers.add_parser(
+        "catalogue",
+        help="list every registry: schemes, scenarios, adversaries, experiments",
+    )
+    catalogue_parser.add_argument(
+        "section",
+        nargs="?",
+        choices=list(CATALOGUE_SECTIONS),
+        default=None,
+        help="restrict the listing to one registry (default: all)",
+    )
+    catalogue_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (always {section: {name: description}})",
+    )
+    catalogue_parser.set_defaults(handler=_cmd_catalogue)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Exit codes: 0 success, 1 experiment shape-check failures or benchmark
+    divergence, 2 anything that failed to validate — unknown names (with a
+    did-you-mean hint), malformed values, bad flag combinations.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except UnknownNameError as exc:
+        _stderr(f"error: {exc}")
+        return 2
+    except ConfigurationError as exc:
+        _stderr(f"error: {exc}")
+        return 2

@@ -22,6 +22,7 @@ __all__ = [
     "REPUTATION_SCHEMES",
     "parse_reputation_scheme",
     "ADVERSARY_STRATEGIES",
+    "parse_adversary_name",
     "AdversarySpec",
     "SimulationParameters",
     "PAPER_DEFAULTS",
@@ -83,7 +84,7 @@ _ADVERSARY_ALIASES = {
 }
 
 
-def _parse_adversary_name(value: str) -> str:
+def parse_adversary_name(value: str) -> str:
     """Normalise an adversary strategy name, raising on unknown names."""
     text = str(value).strip().lower().replace("-", "_")
     text = _ADVERSARY_ALIASES.get(text, text)
@@ -131,7 +132,7 @@ class AdversarySpec:
     options: tuple[tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "name", _parse_adversary_name(self.name))
+        object.__setattr__(self, "name", parse_adversary_name(self.name))
         raw = self.options
         if isinstance(raw, Mapping):
             pairs = raw.items()

@@ -7,9 +7,11 @@ Usage from Python::
     results = run_all(scale=0.05, repeats=2, seed=1, jobs=4)
     print(render_report(results))
 
-or from the command line::
+or from the command line (the consolidated CLI; ``python -m
+repro.experiments.runner`` remains as a deprecation shim with the same
+flags)::
 
-    python -m repro.experiments.runner --scale 0.05 --repeats 2 --out results/
+    python -m repro experiment --scale 0.05 --repeats 2 --out results/
 
 Parallel execution
 ------------------
@@ -41,31 +43,27 @@ computed, in any order.  The fingerprint covers every parameter, including
 Scenarios and schemes
 ---------------------
 ``--scenario NAME`` resolves the base parameters through the scenario
-registry (:mod:`repro.workloads.registry`; ``--list-scenarios`` prints the
-catalogue) and ``--scheme NAME`` swaps the reputation backend the
-simulations run on, e.g.::
+registry (:mod:`repro.workloads.registry`; ``python -m repro catalogue``
+prints every registry) and ``--scheme NAME`` swaps the reputation backend
+the simulations run on, e.g.::
 
-    python -m repro.experiments.runner \
+    python -m repro experiment \
         --only scheme_comparison --scenario tiny_test --jobs 2
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
 from pathlib import Path
 from typing import Callable, Mapping, Type
 
-from ..adversary import available_adversaries
 from ..analysis.storage import ResultStore
 from ..analysis.tables import format_markdown_table
-from ..config import REPUTATION_SCHEMES, SimulationParameters
-from ..errors import ConfigurationError
+from ..config import SimulationParameters
 from ..metrics.summary import RunSummary
 from ..parallel.cache import RunCache
-from ..parallel.executor import BACKENDS, Executor, create_executor
+from ..parallel.executor import Executor
 from ..parallel.specs import RunSpec
-from ..workloads.registry import available_scenarios, get_scenario
 from .base import Experiment, ExperimentResult
 from .figure1_growth import Figure1Growth
 from .figure2_reputation_time import Figure2ReputationOverTime
@@ -78,7 +76,17 @@ from .scheme_comparison import SchemeComparison
 from .success_rate import SuccessRateExperiment
 from .table1_parameters import Table1Parameters
 
-__all__ = ["EXPERIMENTS", "make_experiment", "run_all", "render_report", "main"]
+__all__ = [
+    "EXPERIMENTS",
+    "require_known",
+    "make_experiment",
+    "ThroughputExecutor",
+    "throughput_line",
+    "execution_order",
+    "run_all",
+    "render_report",
+    "main",
+]
 
 #: Registry of every experiment: the paper's artefacts in presentation order,
 #: then the reproduction's own additions (the cross-scheme comparison and the
@@ -97,7 +105,7 @@ EXPERIMENTS: dict[str, Type[Experiment]] = {
 }
 
 
-def _require_known(experiment_id: str) -> Type[Experiment]:
+def require_known(experiment_id: str) -> Type[Experiment]:
     """The registered experiment class, or a helpful KeyError."""
     try:
         return EXPERIMENTS[experiment_id]
@@ -117,7 +125,7 @@ def make_experiment(
     cache: RunCache | None = None,
 ) -> Experiment:
     """Instantiate the experiment registered under ``experiment_id``."""
-    experiment_cls = _require_known(experiment_id)
+    experiment_cls = require_known(experiment_id)
     return experiment_cls(
         scale=scale,
         repeats=repeats,
@@ -132,13 +140,7 @@ def _print_to_stderr(line: str) -> None:
     print(line, file=sys.stderr)
 
 
-def _print_catalogue(catalogue: Mapping[str, str]) -> None:
-    """Print a name → description registry, sorted by name for stable output."""
-    for name, description in sorted(catalogue.items()):
-        print(f"{name:24s} {description}")
-
-
-class _ThroughputExecutor(Executor):
+class ThroughputExecutor(Executor):
     """Executor decorator that reports transactions/sec per completed run.
 
     Wraps any backend's :meth:`map_specs` and, as each simulation finishes,
@@ -157,7 +159,7 @@ class _ThroughputExecutor(Executor):
         def report(index: int, summary: RunSummary) -> None:
             if on_result is not None:
                 on_result(index, summary)
-            self._emit(_throughput_line(specs[index], summary))
+            self._emit(throughput_line(specs[index], summary))
 
         return self.inner.map_specs(specs, progress=progress, on_result=report)
 
@@ -165,7 +167,7 @@ class _ThroughputExecutor(Executor):
         self.inner.close()
 
 
-def _throughput_line(spec: RunSpec, summary: RunSummary) -> str:
+def throughput_line(spec: RunSpec, summary: RunSummary) -> str:
     """One human-readable throughput report for a completed run."""
     transactions = summary.params.num_transactions
     elapsed = summary.elapsed_seconds
@@ -179,7 +181,7 @@ def _throughput_line(spec: RunSpec, summary: RunSummary) -> str:
     )
 
 
-def _execution_order(selected: list[str]) -> list[str]:
+def execution_order(selected: list[str]) -> list[str]:
     """Selected ids in execution order: figure4 always precedes figure5.
 
     Figure 5 reuses Figure 4's sweep outcome, which only exists once Figure 4
@@ -220,43 +222,31 @@ def run_all(
     regardless of the order the ids appear in ``only`` — since they share
     the exact same sweep.  The returned mapping preserves the requested
     order.
+
+    This is a convenience wrapper: it builds a throwaway
+    :class:`~repro.api.service.SimulationService` and delegates to
+    :meth:`~repro.api.service.SimulationService.run_experiments`, which is
+    where the orchestration now lives.  Callers running more than one suite
+    should hold a service themselves to reuse its worker pool.
     """
-    selected = list(EXPERIMENTS) if only is None else list(dict.fromkeys(only))
-    for experiment_id in selected:
-        _require_known(experiment_id)
-    executor = create_executor(backend, jobs)
-    if throughput:
-        emit = progress if progress is not None else _print_to_stderr
-        executor = _ThroughputExecutor(executor, emit)
-    if cache is not None and not isinstance(cache, RunCache):
-        cache = RunCache(cache)
-    completed: dict[str, ExperimentResult] = {}
-    figure4_instance: Figure4LentAmount | None = None
+    # Imported here, not at module top: the service layer builds on this
+    # module, and this wrapper is the one edge pointing the other way.
+    from ..api.service import SimulationService
+
+    service = SimulationService(jobs=jobs, backend=backend, cache=cache)
     try:
-        for experiment_id in _execution_order(selected):
-            experiment = make_experiment(
-                experiment_id,
-                scale=scale,
-                repeats=repeats,
-                seed=seed,
-                base_params=base_params,
-                executor=executor,
-                cache=cache,
-            )
-            if isinstance(experiment, Figure4LentAmount):
-                figure4_instance = experiment
-            if isinstance(experiment, Figure5LentProportion):
-                if figure4_instance is not None:
-                    experiment.shared_sweep = figure4_instance.sweep_result
-            if progress is not None:
-                progress(f"running {experiment_id} ...")
-            result = experiment.run_and_validate(progress=progress)
-            completed[experiment_id] = result
-            if store is not None:
-                store.save_json(experiment_id, result.to_dict())
+        return service.run_experiments(
+            scale=scale,
+            repeats=repeats,
+            seed=seed,
+            only=only,
+            store=store,
+            progress=progress,
+            base_params=base_params,
+            throughput=throughput,
+        )
     finally:
-        executor.close()
-    return {experiment_id: completed[experiment_id] for experiment_id in selected}
+        service.close()
 
 
 def render_report(results: Mapping[str, ExperimentResult]) -> str:
@@ -308,157 +298,40 @@ def render_report(results: Mapping[str, ExperimentResult]) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Command-line entry point (``python -m repro.experiments.runner``)."""
-    parser = argparse.ArgumentParser(description="Reproduce the paper's experiments")
-    parser.add_argument(
-        "--scale",
-        type=float,
-        default=None,
-        help=(
-            "fraction of the base horizon (default: 0.1 of the paper's 500k "
-            "transactions, or 1.0 when --scenario already sizes the run)"
-        ),
-    )
-    parser.add_argument(
-        "--repeats",
-        type=int,
-        default=3,
-        help="independent repetitions per sweep point",
-    )
-    parser.add_argument("--seed", type=int, default=1, help="master seed")
-    parser.add_argument(
-        "--only",
-        nargs="*",
-        default=None,
-        help="subset of experiment ids to run",
-    )
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=None,
-        help="directory for JSON results and the Markdown report",
-    )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="simulations to run concurrently (1 = serial)",
-    )
-    parser.add_argument(
-        "--backend",
-        choices=list(BACKENDS),
-        default=None,
-        help="executor backend (default: serial for --jobs 1, process otherwise)",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        type=Path,
-        default=None,
-        help=(
-            "persist completed runs here, keyed by (params fingerprint, seed), "
-            "and skip any run already present"
-        ),
-    )
-    parser.add_argument(
-        "--scenario",
-        default=None,
-        help=(
-            "base parameters from a named scenario in "
-            "repro.workloads.registry (see --list-scenarios)"
-        ),
-    )
-    parser.add_argument(
-        "--list-scenarios",
-        action="store_true",
-        help="print the registered scenario names (sorted) and exit",
-    )
-    parser.add_argument(
-        "--list-adversaries",
-        action="store_true",
-        help="print the registered adversary strategy names (sorted) and exit",
-    )
-    parser.add_argument(
-        "--throughput",
-        action="store_true",
-        help=(
-            "print transactions/sec for every completed simulation run "
-            "(cache hits are not re-reported)"
-        ),
-    )
-    parser.add_argument(
-        "--scheme",
-        default=None,
-        help=(
-            "reputation backend for the base parameters "
-            f"(one of: {', '.join(REPUTATION_SCHEMES)})"
-        ),
-    )
-    args = parser.parse_args(argv)
+    """Deprecated entry point; delegates to ``python -m repro`` unchanged.
 
-    if args.list_scenarios:
-        _print_catalogue(available_scenarios())
-        return 0
-    if args.list_adversaries:
-        _print_catalogue(available_adversaries())
-        return 0
+    Every flag this runner ever accepted maps onto the consolidated CLI:
+    the listing flags become the ``catalogue`` subcommand, everything else
+    becomes ``experiment`` with the same flags — so stdout (the report, the
+    catalogue text) is byte-identical to what this module always printed.
+    Only a deprecation note is added, on stderr.
+    """
+    # Imported here, not at module top: the CLI builds on this module.
+    from .. import cli
 
-    base_params: SimulationParameters | None = None
-    if args.scenario is not None:
-        try:
-            base_params = get_scenario(args.scenario, seed=args.seed)
-        except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            return 2
-    if args.scheme is not None:
-        try:
-            base_params = (
-                base_params
-                if base_params is not None
-                else SimulationParameters(seed=args.seed)
-            ).with_overrides(reputation_scheme=args.scheme)
-        except ConfigurationError as exc:
-            print(exc, file=sys.stderr)
-            return 2
-    # A named scenario is already sized; only the paper-default base needs the
-    # laptop-friendly 0.1 downscale.
-    scale = args.scale if args.scale is not None else (
-        1.0 if args.scenario is not None else 0.1
-    )
+    argv = list(sys.argv[1:] if argv is None else argv)
 
-    store = ResultStore(args.out) if args.out is not None else None
-    cache = RunCache(args.cache_dir) if args.cache_dir is not None else None
-    results = run_all(
-        scale=scale,
-        repeats=args.repeats,
-        seed=args.seed,
-        only=args.only,
-        store=store,
-        progress=lambda message: print(message, file=sys.stderr),
-        base_params=base_params,
-        jobs=args.jobs,
-        backend=args.backend,
-        cache=cache,
-        throughput=args.throughput,
-    )
-    report = render_report(results)
-    print(report)
-    if store is not None:
-        report_path = store.root / "report.md"
-        report_path.write_text(report, encoding="utf-8")
-        print(f"(report written to {report_path})", file=sys.stderr)
-    if cache is not None:
-        print(
-            f"(run cache: {cache.hits} hit(s), {cache.misses} miss(es) "
-            f"under {cache.store.root})",
-            file=sys.stderr,
+    def requests(flag: str) -> bool:
+        # Accept the unambiguous prefix abbreviations the old argparse-based
+        # parser accepted ("--list-s", "--list-scen", ...), not just the
+        # full spelling.  "--list-" and shorter are ambiguous between the
+        # two listing flags, exactly as they were for argparse.
+        return any(
+            flag.startswith(arg) and len(arg) > len("--list-") for arg in argv
         )
-    failures = sum(
-        1
-        for result in results.values()
-        for check in result.checks
-        if not check.passed
+
+    if requests("--list-scenarios"):
+        new_argv = ["catalogue", "scenarios"]
+    elif requests("--list-adversaries"):
+        new_argv = ["catalogue", "adversaries"]
+    else:
+        new_argv = ["experiment", *argv]
+    print(
+        "note: `python -m repro.experiments.runner` is deprecated; use "
+        f"`python -m repro {new_argv[0]}` (same flags)",
+        file=sys.stderr,
     )
-    return 1 if failures else 0
+    return cli.main(new_argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

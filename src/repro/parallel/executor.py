@@ -79,6 +79,15 @@ class Executor:
     def close(self) -> None:
         """Release any pooled workers (no-op for stateless executors)."""
 
+    def prepare(self) -> None:
+        """Eagerly create any worker pool (no-op for stateless executors).
+
+        Pooled backends create their pool lazily on first use; callers that
+        will issue :meth:`map_specs` from several threads (the service layer's
+        :class:`~repro.api.handle.RunHandle`) call this once up front so the
+        lazy creation never races.
+        """
+
 
 class SerialExecutor(Executor):
     """Runs specs inline, one after the other."""
@@ -122,6 +131,9 @@ class _PoolExecutor(Executor):
         if self._pool is None:
             self._pool = self._make_pool()
         return self._pool
+
+    def prepare(self) -> None:
+        self._get_pool()
 
     def close(self) -> None:
         if self._pool is not None:
@@ -202,6 +214,8 @@ def run_specs(
     executor: Executor | None = None,
     cache: RunCache | None = None,
     progress: ProgressFn | None = None,
+    on_result: ResultFn | None = None,
+    on_cache_hit: ResultFn | None = None,
 ) -> list[RunSummary]:
     """Run a batch of specs through ``executor``, consulting ``cache`` first.
 
@@ -210,6 +224,15 @@ def run_specs(
     the executor, and each miss is persisted the moment it completes — an
     interrupted sweep keeps every run that finished.  Results come back in
     spec order.
+
+    ``on_result`` (if given) is invoked in the calling process with the
+    batch index and summary of every run — cache hits at lookup time,
+    computed runs as they complete.  An exception raised from it aborts the
+    batch (pooled backends cancel their still-queued work), which is how the
+    service layer implements cooperative cancellation.  ``on_cache_hit``
+    (if given) is additionally invoked — before ``on_result`` — for runs
+    served from the cache, so callers can attribute hits per spec without
+    relying on the cache's shared counters.
     """
     if executor is None:
         executor = SerialExecutor()
@@ -223,6 +246,10 @@ def run_specs(
                 if progress is not None:
                     progress(f"{spec.describe()} (cached)")
                 results[index] = cached
+                if on_cache_hit is not None:
+                    on_cache_hit(index, cached)
+                if on_result is not None:
+                    on_result(index, cached)
                 continue
         pending.append(spec)
         pending_indices.append(index)
@@ -231,6 +258,8 @@ def run_specs(
         if cache is not None:
             spec = pending[pending_index]
             cache.put(spec.params, spec.seed, summary)
+        if on_result is not None:
+            on_result(pending_indices[pending_index], summary)
 
     computed = executor.map_specs(pending, progress=progress, on_result=store_result)
     for index, summary in zip(pending_indices, computed):

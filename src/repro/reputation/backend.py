@@ -52,6 +52,7 @@ __all__ = [
     "BackendFactory",
     "register_backend",
     "available_schemes",
+    "scheme_catalogue",
     "make_reputation_backend",
     "notify_membership_change",
 ]
@@ -167,9 +168,27 @@ def register_backend(scheme: str) -> Callable[[BackendFactory], BackendFactory]:
     return decorator
 
 
+#: One-line description per scheme, surfaced by the unified catalogue
+#: (``python -m repro catalogue schemes``) alongside the scenario, adversary
+#: and experiment registries.
+_DESCRIPTIONS: dict[str, str] = {
+    "rocq": "the paper's scheme: replicated score managers, credibility-weighted",
+    "eigentrust": "EigenTrust global trust via power iteration over the report log",
+    "beta": "beta reputation: two-sided Bayesian feedback counts",
+    "tit_for_tat": "bilateral tit-for-tat credit balances (BitTorrent-style)",
+    "complaints": "complaints-based trust: only negative feedback counts",
+    "positive_only": "positive-only feedback totals (eBay-style)",
+}
+
+
 def available_schemes() -> tuple[str, ...]:
     """Every scheme name a backend factory is registered for."""
     return tuple(_FACTORIES)
+
+
+def scheme_catalogue() -> dict[str, str]:
+    """Name → one-line description for every registered backend factory."""
+    return {name: _DESCRIPTIONS.get(name, name) for name in _FACTORIES}
 
 
 def make_reputation_backend(

@@ -215,7 +215,10 @@ class TestCli:
         assert "report written to" in captured.out
 
     def test_warmup_flag_overrides_the_config(self, tmp_path, monkeypatch):
-        import repro.bench.__main__ as bench_cli
+        # The CLI (python -m repro bench, which the repro.bench shim
+        # delegates to) runs the suite via SimulationService.bench, which
+        # resolves run_hotpath_benchmarks on the hotpath module at call time.
+        import repro.bench.hotpath as hotpath_module
 
         seen: dict[str, int] = {}
 
@@ -238,9 +241,9 @@ class TestCli:
                 "all_bit_identical": True,
             }
 
-        monkeypatch.setattr(bench_cli, "run_hotpath_benchmarks", fake_run)
+        monkeypatch.setattr(hotpath_module, "run_hotpath_benchmarks", fake_run)
         out = tmp_path / "bench.json"
-        exit_code = bench_cli.main(["--quick", "--warmup", "3", "--out", str(out)])
+        exit_code = bench_main(["--quick", "--warmup", "3", "--out", str(out)])
         assert exit_code == 0
         assert seen["warmup"] == 3
 

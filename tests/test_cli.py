@@ -1,0 +1,219 @@
+"""Tests for the consolidated CLI (``python -m repro``) and the legacy shims.
+
+The contracts pinned here:
+
+* the ``catalogue`` subcommand unifies the legacy ``--list-*`` flags, in
+  both text and ``--json`` modes;
+* ``run`` executes end-to-end and its digest matches the service path;
+* unknown scheme/scenario/adversary/experiment names exit with code 2 and
+  a did-you-mean hint, consistently across subcommands;
+* the deprecated entry points (``python -m repro.experiments.runner``,
+  ``python -m repro.bench``) delegate with byte-identical stdout.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.api import catalogue
+from repro.bench.__main__ import main as bench_main
+from repro.experiments import runner
+
+
+def run_cli(capsys, argv: list[str]) -> tuple[int, str, str]:
+    """Run the CLI and return (exit code, stdout, stderr)."""
+    exit_code = cli.main(argv)
+    captured = capsys.readouterr()
+    return exit_code, captured.out, captured.err
+
+
+class TestCatalogueSubcommand:
+    def test_single_section_text_matches_legacy_listing_format(self, capsys):
+        exit_code, out, _ = run_cli(capsys, ["catalogue", "adversaries"])
+        assert exit_code == 0
+        lines = out.strip().splitlines()
+        names = [line.split()[0] for line in lines]
+        assert names == sorted(names)
+        assert set(names) == set(catalogue()["adversaries"])
+        for line in lines:  # every entry is "name  description"
+            assert len(line.split(None, 1)) == 2, line
+
+    def test_all_sections_text_has_headers(self, capsys):
+        exit_code, out, _ = run_cli(capsys, ["catalogue"])
+        assert exit_code == 0
+        for section in ("schemes", "scenarios", "adversaries", "experiments"):
+            assert f"[{section}]" in out
+
+    def test_json_mode_round_trips_the_catalogue(self, capsys):
+        exit_code, out, _ = run_cli(capsys, ["catalogue", "--json"])
+        assert exit_code == 0
+        assert json.loads(out) == catalogue()
+
+    def test_json_mode_single_section_is_nested(self, capsys):
+        exit_code, out, _ = run_cli(capsys, ["catalogue", "schemes", "--json"])
+        assert exit_code == 0
+        assert json.loads(out) == {"schemes": catalogue()["schemes"]}
+
+    def test_unknown_section_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["catalogue", "schemas"])
+        assert excinfo.value.code == 2
+
+
+class TestRunSubcommand:
+    ARGS = ["run", "--scenario", "tiny_test", "--seed", "5", "--quiet"]
+
+    def test_end_to_end_text_output(self, capsys):
+        exit_code, out, _ = run_cli(capsys, self.ARGS)
+        assert exit_code == 0
+        assert "decision success rate" in out
+        assert "digest:" in out
+
+    def test_json_output_matches_service_digest(self, capsys):
+        from repro.api import RunRequest, SimulationService
+
+        exit_code, out, _ = run_cli(capsys, [*self.ARGS, "--json"])
+        assert exit_code == 0
+        document = json.loads(out)
+        with SimulationService() as service:
+            expected = service.run(RunRequest(scenario="tiny_test", seed=5))
+        assert document["digest"] == expected.digest()
+        assert document["request"]["scenario"] == "tiny_test"
+        assert len(document["summaries"]) == 1
+
+    def test_set_overrides_and_jobs(self, capsys):
+        exit_code, out, _ = run_cli(
+            capsys,
+            ["run", "--scenario", "tiny_test", "--set", "arrival_rate=0.05",
+             "--set", "bootstrap_mode=open", "--jobs", "2", "--repeats", "2",
+             "--quiet"],
+        )
+        assert exit_code == 0
+        assert "2 repeat(s)" in out
+
+    def test_cache_dir_reports_stats(self, tmp_path, capsys):
+        argv = [*self.ARGS, "--cache-dir", str(tmp_path)]
+        exit_code, _, err = run_cli(capsys, argv)
+        assert exit_code == 0
+        assert "0 hit(s), 1 miss(es)" in err
+        exit_code, _, err = run_cli(capsys, argv)
+        assert exit_code == 0
+        assert "1 hit(s), 0 miss(es)" in err
+
+
+class TestErrorNormalisation:
+    """Unknown names exit 2 with a did-you-mean hint, on every subcommand."""
+
+    @pytest.mark.parametrize(
+        "argv,hint",
+        [
+            (["run", "--scheme", "roqc"], "rocq"),
+            (["run", "--scenario", "tiny_tset"], "tiny_test"),
+            (["run", "--adversary", "sybil_swam"], "sybil_swarm"),
+            (["run", "--set", "arival_rate=0.5"], "arrival_rate"),
+            (["experiment", "--scheme", "roqc"], "rocq"),
+            (["experiment", "--scenario", "tiny_tset"], "tiny_test"),
+            (["experiment", "--only", "figure99"], "did you mean"),
+        ],
+    )
+    def test_unknown_names_exit_2_with_hint(self, capsys, argv, hint):
+        exit_code, out, err = run_cli(capsys, argv)
+        assert exit_code == 2
+        assert "error:" in err
+        assert hint in err
+
+    def test_malformed_set_flag_exits_2(self, capsys):
+        exit_code, _, err = run_cli(capsys, ["run", "--set", "arrival_rate"])
+        assert exit_code == 2
+        assert "KEY=VALUE" in err
+
+    def test_malformed_adversary_json_exits_2(self, capsys):
+        exit_code, _, err = run_cli(capsys, ["run", "--adversary", "{bad json"])
+        assert exit_code == 2
+        assert "not valid JSON" in err
+
+
+class TestExperimentSubcommand:
+    def test_tiny_run_produces_report_and_store(self, tmp_path, capsys):
+        exit_code, out, _ = run_cli(
+            capsys,
+            ["experiment", "--scale", "0.01", "--repeats", "1",
+             "--only", "table1", "--out", str(tmp_path)],
+        )
+        assert exit_code == 0
+        assert "Reproduction report" in out
+        assert (tmp_path / "report.md").exists()
+        assert (tmp_path / "table1.json").exists()
+
+
+class TestLegacyShims:
+    """The deprecated entry points delegate with byte-identical stdout."""
+
+    RUNNER_ARGS = ["--scale", "0.01", "--repeats", "1", "--only", "table1"]
+
+    def test_runner_shim_stdout_identical_for_tiny_run(self, capsys):
+        legacy_exit = runner.main(self.RUNNER_ARGS)
+        legacy = capsys.readouterr()
+        new_exit = cli.main(["experiment", *self.RUNNER_ARGS])
+        new = capsys.readouterr()
+        assert legacy_exit == new_exit == 0
+        assert legacy.out == new.out
+        assert "deprecated" in legacy.err
+
+    @pytest.mark.parametrize(
+        "flag,section",
+        [("--list-scenarios", "scenarios"), ("--list-adversaries", "adversaries")],
+    )
+    def test_runner_listing_flags_map_to_catalogue(self, capsys, flag, section):
+        legacy_exit = runner.main([flag])
+        legacy = capsys.readouterr()
+        new_exit = cli.main(["catalogue", section])
+        new = capsys.readouterr()
+        assert legacy_exit == new_exit == 0
+        assert legacy.out == new.out
+
+    def test_bench_shim_stdout_identical(self, tmp_path, capsys, monkeypatch):
+        # Patch the suite itself so the comparison is instant; the shim and
+        # the CLI must then print the same report lines.
+        import repro.bench.hotpath as hotpath_module
+
+        def fake_run(config):
+            return {
+                "end_to_end": [],
+                "micro": {
+                    "ring_ops": [],
+                    "assignment_lookup": {
+                        "cold_us_per_lookup": 1.0,
+                        "cached_us_per_lookup": 1.0,
+                        "cache_speedup": 1.0,
+                        "targeted_eviction": {
+                            "evicted_by_one_join": 0,
+                            "cached_subjects": 0,
+                        },
+                    },
+                },
+                "all_bit_identical": True,
+            }
+
+        monkeypatch.setattr(hotpath_module, "run_hotpath_benchmarks", fake_run)
+        legacy_exit = bench_main(
+            ["--quick", "--out", str(tmp_path / "legacy.json")]
+        )
+        legacy = capsys.readouterr()
+        new_exit = cli.main(
+            ["bench", "--quick", "--out", str(tmp_path / "new.json")]
+        )
+        new = capsys.readouterr()
+        assert legacy_exit == new_exit == 0
+        assert "deprecated" in legacy.err
+        # Same stdout modulo the differing --out path on the last line.
+        strip = lambda text: [  # noqa: E731 - tiny local helper
+            line for line in text.splitlines()
+            if not line.startswith("report written to")
+        ]
+        assert strip(legacy.out) == strip(new.out)
+        assert (tmp_path / "legacy.json").exists()
+        assert (tmp_path / "new.json").exists()

@@ -129,7 +129,7 @@ class TestRunnerCli:
         assert "tx/s" in stderr
 
     def test_throughput_line_formats_rate(self):
-        from repro.experiments.runner import _throughput_line
+        from repro.experiments.runner import throughput_line
         from repro.metrics.summary import RunSummary
         from repro.parallel.specs import RunSpec
         from repro.workloads.scenarios import tiny_test
@@ -150,7 +150,7 @@ class TestRunnerCli:
             total_reputation_lent=0.0, total_rewards_paid=0.0,
             total_stakes_lost=0.0, elapsed_seconds=1.5,
         )
-        line = _throughput_line(spec, summary)
+        line = throughput_line(spec, summary)
         assert "tx/s" in line and "3,000" in line
         summary.elapsed_seconds = 0.0
-        assert "n/a" in _throughput_line(spec, summary)
+        assert "n/a" in throughput_line(spec, summary)
