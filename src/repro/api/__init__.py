@@ -26,14 +26,17 @@ The command-line face of this module is ``python -m repro`` (see
 ``python -m repro.bench`` entry points delegate here.
 """
 
+from ..trace.spec import TraceSpec
 from .catalogue import (
     CATALOGUE_SECTIONS,
     catalogue,
     experiment_catalogue,
+    fuzz_generator_catalogue,
     resolve_adversary,
     resolve_experiment_ids,
     resolve_scenario,
     resolve_scheme,
+    resolve_trace,
 )
 from .errors import RunCancelledError, UnknownNameError, did_you_mean
 from .handle import ProgressEvent, RunHandle
@@ -48,13 +51,16 @@ __all__ = [
     "RunHandle",
     "ProgressEvent",
     "SimulationService",
+    "TraceSpec",
     "catalogue",
     "CATALOGUE_SECTIONS",
     "experiment_catalogue",
+    "fuzz_generator_catalogue",
     "resolve_scenario",
     "resolve_scheme",
     "resolve_adversary",
     "resolve_experiment_ids",
+    "resolve_trace",
     "summary_digest",
     "UnknownNameError",
     "RunCancelledError",

@@ -33,14 +33,22 @@ __all__ = [
     "CATALOGUE_SECTIONS",
     "catalogue",
     "experiment_catalogue",
+    "fuzz_generator_catalogue",
     "resolve_scenario",
     "resolve_scheme",
     "resolve_adversary",
     "resolve_experiment_ids",
+    "resolve_trace",
 ]
 
 #: The sections :func:`catalogue` reports, in presentation order.
-CATALOGUE_SECTIONS = ("schemes", "scenarios", "adversaries", "experiments")
+CATALOGUE_SECTIONS = (
+    "schemes",
+    "scenarios",
+    "adversaries",
+    "experiments",
+    "fuzz-generators",
+)
 
 
 def experiment_catalogue() -> dict[str, str]:
@@ -66,7 +74,17 @@ def catalogue() -> dict[str, dict[str, str]]:
         "scenarios": available_scenarios(),
         "adversaries": available_adversaries(),
         "experiments": experiment_catalogue(),
+        "fuzz-generators": fuzz_generator_catalogue(),
     }
+
+
+def fuzz_generator_catalogue() -> dict[str, str]:
+    """Fuzz generator name → description (the scenario fuzzer's dimensions)."""
+    # Imported lazily, mirroring experiment_catalogue: the fuzzer pulls in
+    # the whole engine stack.
+    from ..workloads.fuzz import available_fuzz_generators
+
+    return available_fuzz_generators()
 
 
 def resolve_scenario(name: str, seed: int = 1) -> SimulationParameters:
@@ -111,6 +129,32 @@ def resolve_adversary(
                 "adversary strategy", attempted, ADVERSARY_STRATEGIES
             ) from None
     return AdversarySpec.parse(value)
+
+
+def resolve_trace(path: str) -> "Any":
+    """Load the trace file at ``path``, with did-you-mean on missing files.
+
+    Returns a :class:`~repro.trace.log.TraceLog`; a missing file raises
+    :class:`UnknownNameError` listing trace-looking siblings (so ``repro
+    trace diff runs/baseline.jsonl ...`` typos behave like unknown scheme
+    names), and malformed files raise
+    :class:`~repro.trace.log.TraceFormatError` (a
+    :class:`~repro.errors.ConfigurationError`).
+    """
+    from pathlib import Path
+
+    from ..trace.log import TraceLog
+
+    try:
+        return TraceLog.load(path)
+    except FileNotFoundError:
+        directory = Path(path).parent
+        siblings = (
+            sorted(str(candidate) for candidate in directory.glob("*.jsonl"))
+            if directory.is_dir()
+            else []
+        )
+        raise UnknownNameError("trace", str(path), siblings) from None
 
 
 def resolve_experiment_ids(ids: Iterable[str]) -> list[str]:

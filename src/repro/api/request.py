@@ -24,10 +24,14 @@ from dataclasses import dataclass, fields, replace
 from enum import Enum
 from typing import Any, Iterable, Mapping
 
+from pathlib import Path
+
 from ..config import AdversarySpec, SimulationParameters
 from ..errors import ConfigurationError
 from ..parallel.specs import RunSpec
 from ..rng import derive_seed
+from ..trace.log import TraceHeader, load_trace_header, trace_file_digest
+from ..trace.spec import TraceSpec
 from ..workloads.registry import available_scenarios, get_scenario
 from .catalogue import resolve_adversary, resolve_scheme
 from .errors import UnknownNameError
@@ -46,6 +50,14 @@ _RESERVED_OVERRIDES = {
 }
 
 _PARAMETER_FIELDS = frozenset(f.name for f in fields(SimulationParameters))
+
+
+def _sibling_traces(path: str) -> list[str]:
+    """Trace-looking files next to a missing trace path (did-you-mean pool)."""
+    directory = Path(path).parent
+    if not directory.is_dir():
+        return []
+    return sorted(str(candidate) for candidate in directory.glob("*.jsonl"))
 
 
 def _canonical_value(key: str, value: Any) -> Any:
@@ -89,6 +101,13 @@ class RunRequest:
     label:
         Optional human-readable tag used in progress lines and derived seeds;
         defaults to the scenario name (or ``"run"``).
+    trace:
+        Optional trace facet — a :class:`~repro.trace.spec.TraceSpec` or a
+        mapping like ``{"record": path}`` / ``{"replay": path}``.  Recording
+        captures the run's event trace to the path; replaying takes its base
+        parameters (and master seed) from the recorded trace, with ``scheme``
+        / ``adversary`` / ``overrides`` / ``scale`` applied on top for A/B
+        replays, so ``scenario`` must be ``None``.
     """
 
     scenario: str | None = None
@@ -99,6 +118,7 @@ class RunRequest:
     seed: int = 1
     repeats: int = 1
     label: str = ""
+    trace: TraceSpec | None = None
 
     def __post_init__(self) -> None:
         if self.scenario is not None:
@@ -114,8 +134,45 @@ class RunRequest:
         if self.repeats < 1:
             raise ConfigurationError("repeats must be >= 1")
         object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "trace", TraceSpec.parse(self.trace))
+        self._validate_trace()
         # Fail fast: override *values* must produce valid parameters too.
         self.resolve()
+
+    def _validate_trace(self) -> None:
+        if self.trace is None:
+            return
+        if self.trace.mode == "record" or self.trace.record_to is not None:
+            if self.repeats != 1:
+                raise ConfigurationError(
+                    "trace recording requires repeats == 1: a trace file "
+                    "holds exactly one run"
+                )
+        if self.trace.mode == "replay":
+            if self.scenario is not None:
+                raise ConfigurationError(
+                    "a replay request takes its base parameters from the "
+                    "recorded trace; drop 'scenario' and express deltas via "
+                    "scheme/adversary/overrides/scale"
+                )
+            # Validates existence and format up front (invalid requests
+            # cannot exist); the header is cached for resolve()/seeds().
+            self._trace_header()
+
+    def _trace_header(self) -> TraceHeader:
+        """The replayed trace's header, loaded once and cached."""
+        assert self.trace is not None
+        cached = getattr(self, "_trace_header_cache", None)
+        if cached is not None:
+            return cached
+        try:
+            header = load_trace_header(self.trace.path)
+        except FileNotFoundError:
+            raise UnknownNameError(
+                "trace", self.trace.path, _sibling_traces(self.trace.path)
+            ) from None
+        object.__setattr__(self, "_trace_header_cache", header)
+        return header
 
     def _canonical_overrides(self) -> tuple[tuple[str, Any], ...]:
         raw = self.overrides
@@ -153,9 +210,13 @@ class RunRequest:
 
         Resolution order: scenario base → overrides → scheme → adversary →
         scale.  Scaling last matches how every legacy entry point composed
-        configurations, so equal inputs give bit-equal parameters.
+        configurations, so equal inputs give bit-equal parameters.  Replay
+        requests start from the recorded trace's parameters instead of a
+        scenario.
         """
-        if self.scenario is not None:
+        if self.trace is not None and self.trace.mode == "replay":
+            params = self._trace_header().parameters()
+        elif self.scenario is not None:
             params = get_scenario(self.scenario, seed=self.seed)
         else:
             params = SimulationParameters(seed=self.seed)
@@ -173,13 +234,25 @@ class RunRequest:
         """The label used in progress lines and derived seeds."""
         return self.label or self.scenario or "run"
 
+    def _master_seed(self) -> int:
+        """The seed repeat 0 runs with.
+
+        For replay requests this is the *recorded* master seed — the whole
+        point of a replay is reproducing (or A/B-ing) the recorded run, and
+        only its own seed keeps the live streams bit-aligned with it.
+        """
+        if self.trace is not None and self.trace.mode == "replay":
+            return int(self._trace_header().seed)
+        return self.seed
+
     def seeds(self) -> tuple[int, ...]:
         """One seed per repeat; repeat 0 is the master seed itself."""
         label = self.run_label()
+        master = self._master_seed()
         return tuple(
-            self.seed
+            master
             if repeat == 0
-            else derive_seed(self.seed, _SEED_NAMESPACE, label, repeat)
+            else derive_seed(master, _SEED_NAMESPACE, label, repeat)
             for repeat in range(self.repeats)
         )
 
@@ -187,6 +260,7 @@ class RunRequest:
         """One executable :class:`RunSpec` per repeat, in repeat order."""
         params = self.resolve()
         label = self.run_label()
+        trace = self.trace
         return [
             RunSpec(
                 params=params,
@@ -195,6 +269,10 @@ class RunRequest:
                 label=label,
                 repeat=repeat,
                 total_repeats=self.repeats,
+                trace_mode=None if trace is None else trace.mode,
+                trace_path=None if trace is None else trace.path,
+                trace_record_to=None if trace is None else trace.record_to,
+                trace_digest_every=1 if trace is None else trace.digest_every,
             )
             for repeat, seed in enumerate(self.seeds())
         ]
@@ -208,6 +286,14 @@ class RunRequest:
         — the natural cache key for request-level memoisation.
         """
         document = {"params": self.resolve().to_dict(), "seeds": list(self.seeds())}
+        if self.trace is not None:
+            facet = self.trace.to_dict()
+            if self.trace.mode == "replay":
+                # A replay's identity is the trace *content*, not its path:
+                # rerecording a different run to the same file must change
+                # the fingerprint.
+                facet["trace_content"] = trace_file_digest(self.trace.path)
+            document["trace"] = facet
         text = json.dumps(document, sort_keys=True)
         return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
@@ -227,6 +313,7 @@ class RunRequest:
             "seed": self.seed,
             "repeats": self.repeats,
             "label": self.label,
+            "trace": self.trace.to_dict() if self.trace is not None else None,
         }
 
     def to_json(self, indent: int = 2) -> str:

@@ -11,24 +11,15 @@ exactly when their digests match.
 from __future__ import annotations
 
 import hashlib
-import json
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 from ..config import SimulationParameters
-from ..metrics.summary import RunSummary
+from ..metrics.summary import RunSummary, summary_digest
 from ..workloads.sweep import aggregate_mean
 from .request import RunRequest
 
 __all__ = ["summary_digest", "RunResult", "BatchResult"]
-
-
-def summary_digest(summary: RunSummary) -> str:
-    """Digest of one run summary, ignoring wall-clock time."""
-    document = summary.to_dict()
-    document.pop("elapsed_seconds", None)
-    text = json.dumps(document, sort_keys=True)
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -11,7 +13,20 @@ from ..core.lending import LendingStats
 from .collector import MetricsCollector
 from .timeseries import TimeSeries
 
-__all__ = ["RunSummary"]
+__all__ = ["RunSummary", "summary_digest"]
+
+
+def summary_digest(summary: "RunSummary") -> str:
+    """Canonical digest of one run summary, ignoring wall-clock time.
+
+    This is the currency of the repo's golden tests and of the trace
+    engine: two runs are bit-identical exactly when their summary digests
+    match.  Re-exported by :mod:`repro.api.results` for API users.
+    """
+    document = summary.to_dict()
+    document.pop("elapsed_seconds", None)
+    text = json.dumps(document, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 @dataclass

@@ -51,8 +51,36 @@ def execute_spec(spec: RunSpec) -> RunSummary:
     """Run the simulation a spec describes.
 
     Module-level (not a method) so the process backend can pickle a reference
-    to it for worker processes.
+    to it for worker processes.  Specs carrying a trace facet dispatch to the
+    trace engine (imported lazily — tracing is the exception, not the rule);
+    recording/replaying works identically on every backend because the trace
+    file lives on the shared filesystem, not in worker memory.
     """
+    if spec.trace_mode == "record":
+        from ..trace import record_simulation
+
+        assert spec.trace_path is not None
+        summary, log = record_simulation(
+            spec.params, seed=spec.seed, digest_every=spec.trace_digest_every
+        )
+        log.save(spec.trace_path)
+        return summary
+    if spec.trace_mode == "replay":
+        from ..trace import TraceLog, replay_simulation
+
+        assert spec.trace_path is not None
+        log = TraceLog.load(spec.trace_path)
+        summary, new_log = replay_simulation(
+            log,
+            params=spec.params,
+            seed=spec.seed,
+            record=spec.trace_record_to is not None,
+            digest_every=spec.trace_digest_every,
+        )
+        if new_log is not None:
+            assert spec.trace_record_to is not None
+            new_log.save(spec.trace_record_to)
+        return summary
     return run_simulation(spec.params, seed=spec.seed)
 
 
@@ -240,7 +268,10 @@ def run_specs(
     pending: list[RunSpec] = []
     pending_indices: list[int] = []
     for index, spec in enumerate(specs):
-        if cache is not None:
+        # Traced specs bypass the cache entirely: a cache-served "recording"
+        # would never write its trace file, and a cache-served replay would
+        # mask what the replay actually produced.
+        if cache is not None and spec.trace_mode is None:
             cached = cache.get(spec.params, spec.seed)
             if cached is not None:
                 if progress is not None:
@@ -255,8 +286,8 @@ def run_specs(
         pending_indices.append(index)
 
     def store_result(pending_index: int, summary: RunSummary) -> None:
-        if cache is not None:
-            spec = pending[pending_index]
+        spec = pending[pending_index]
+        if cache is not None and spec.trace_mode is None:
             cache.put(spec.params, spec.seed, summary)
         if on_result is not None:
             on_result(pending_indices[pending_index], summary)

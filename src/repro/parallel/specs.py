@@ -51,6 +51,17 @@ class RunSpec:
         Zero-based repeat index at that point.
     total_repeats:
         Number of repeats at that point (progress rendering only).
+    trace_mode:
+        ``None`` for a plain run, ``"record"`` to capture this run's event
+        trace, ``"replay"`` to re-inject a recorded one (see
+        :mod:`repro.trace`).  Carried as plain strings/paths so specs stay
+        picklable for the process backend.
+    trace_path:
+        The trace file: destination when recording, source when replaying.
+    trace_record_to:
+        Replay only — also record the replayed run's trace to this path.
+    trace_digest_every:
+        State-digest cadence while recording (1 = every record).
     """
 
     params: SimulationParameters
@@ -59,6 +70,10 @@ class RunSpec:
     label: str = ""
     repeat: int = 0
     total_repeats: int = 1
+    trace_mode: str | None = None
+    trace_path: str | None = None
+    trace_record_to: str | None = None
+    trace_digest_every: int = 1
 
     def describe(self) -> str:
         """Short human-readable progress line for this run."""

@@ -27,6 +27,7 @@ no per-manager replicas to migrate.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable
 
 from ..ids import PeerId
@@ -182,3 +183,27 @@ class LogReputationBackend:
 
     def drop_manager(self, manager_id: PeerId) -> None:
         return None
+
+    # ------------------------------------------------------------------ #
+    # State digest (trace divergence bisection)                            #
+    # ------------------------------------------------------------------ #
+    def state_digest(self) -> str:
+        """Deterministic digest of the interaction log and credit ledger.
+
+        Zero-count log entries (artefacts of :class:`defaultdict` reads)
+        are skipped so the digest reflects recorded interactions only.
+        """
+        parts = hashlib.sha256()
+        for subject in sorted(self._credit):
+            parts.update(f"|k{subject}:{self._credit[subject]!r}".encode("ascii"))
+        log = self.system.log
+        for side, counters in (("p", log.positive), ("n", log.negative)):
+            for key in sorted(counters):
+                count = counters[key]
+                if count:
+                    parts.update(f"|{side}{key!r}:{count}".encode("ascii"))
+        parts.update(
+            f"|r{self.reports_delivered}a{self.adjustments_delivered}"
+            f"s{self._reports_since_refresh}".encode("ascii")
+        )
+        return parts.hexdigest()

@@ -55,6 +55,7 @@ __all__ = [
     "scheme_catalogue",
     "make_reputation_backend",
     "notify_membership_change",
+    "backend_state_digest",
 ]
 
 
@@ -147,6 +148,22 @@ def notify_membership_change(
         handler(change)
     else:
         backend.invalidate_assignments()
+
+
+def backend_state_digest(backend: ReputationBackend) -> str:
+    """Digest of a backend's mutable state, for trace divergence bisection.
+
+    Both built-in backends implement ``state_digest()``; like
+    :func:`notify_membership_change`, this helper keeps the *protocol*
+    untouched so third-party (and test-fake) backends written against it
+    keep working — for those the digest degrades to the empty string,
+    meaning "no backend state visibility", which the trace differ treats
+    as always-equal.
+    """
+    method = getattr(backend, "state_digest", None)
+    if method is None:
+        return ""
+    return str(method())
 
 
 #: A factory builds a backend from resolved parameters plus the overlay's

@@ -28,6 +28,7 @@ fallback for callers without structured change information.
 
 from __future__ import annotations
 
+import hashlib
 import statistics
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -258,3 +259,31 @@ class ReputationStore:
         state = self._managers.pop(manager_id, None)
         if state is not None:
             state.drop_all()
+
+    # ------------------------------------------------------------------ #
+    # State digest (trace divergence bisection)                            #
+    # ------------------------------------------------------------------ #
+    def state_digest(self) -> str:
+        """Deterministic digest of every manager's records and credibility.
+
+        Iteration is over *sorted* manager and subject ids, so the digest is
+        independent of dict insertion order; the assignment cache is derived
+        state and deliberately excluded.
+        """
+        parts = hashlib.sha256()
+        for manager_id in sorted(self._managers):
+            state = self._managers[manager_id]
+            parts.update(f"m{manager_id}".encode("ascii"))
+            for subject in sorted(state.tracked_subjects()):
+                snapshot = state.export_record(subject)
+                parts.update(f"|{subject}:{snapshot!r}".encode("utf-8"))
+            credibility = state.credibility
+            for reporter in sorted(credibility.known_reporters()):
+                record = credibility.record_for(reporter)
+                parts.update(
+                    f"|c{reporter}:{record.value!r}:{record.reports}".encode("ascii")
+                )
+        parts.update(
+            f"|r{self.reports_delivered}a{self.adjustments_delivered}".encode("ascii")
+        )
+        return parts.hexdigest()

@@ -107,6 +107,35 @@ class Simulation:
         )
         self._initialized = False
         self._finished = False
+        # Observers of the event dispatch (see :meth:`attach_tracer`).  The
+        # hot path stays branch-free apart from one truthiness check when the
+        # list is empty — untraced runs behave exactly as before.
+        self._tracers: list = []
+
+    # ------------------------------------------------------------------ #
+    # Tracing                                                              #
+    # ------------------------------------------------------------------ #
+    def attach_tracer(self, tracer) -> None:
+        """Attach an observer of the engine's event dispatch.
+
+        A tracer is any object implementing (all optional, duck-typed):
+
+        * ``on_setup(sim)`` — called once at the end of :meth:`setup`, after
+          founders, initial events and the adversary are installed;
+        * ``on_event(sim, event)`` — called after each dispatched
+          :class:`~repro.sim.events.Event` has been fully handled;
+        * ``on_transaction(sim, now, outcome)`` — called after the
+          transaction slot of each time unit (``outcome`` is the
+          :class:`~repro.sim.transactions.TransactionOutcome`, or ``None``
+          when no transaction could take place);
+        * ``on_finalize(sim)`` — called at the end of the run, after the
+          final metrics sample.
+
+        Tracers are notified in attachment order.  This is the hook the
+        trace recorder (:mod:`repro.trace`) builds on; tests use it for
+        fault injection.
+        """
+        self._tracers.append(tracer)
 
     # ------------------------------------------------------------------ #
     # Setup                                                                #
@@ -141,6 +170,8 @@ class Simulation:
             first_action = self.params.adversary.start_time
             if first_action <= self.params.num_transactions:
                 self.events.schedule(first_action, EventKind.ADVERSARY)
+        for tracer in self._tracers:
+            tracer.on_setup(self)
 
     # ------------------------------------------------------------------ #
     # Main loop                                                            #
@@ -172,9 +203,18 @@ class Simulation:
         the two cannot drift apart.
         """
         self.clock.advance_to(now)
+        if not self._tracers:
+            for event in self.events.pop_due(now):
+                self._handle_event(event)
+            self.transactions.execute(now)
+            return
         for event in self.events.pop_due(now):
             self._handle_event(event)
-        self.transactions.execute(now)
+            for tracer in self._tracers:
+                tracer.on_event(self, event)
+        outcome = self.transactions.execute(now)
+        for tracer in self._tracers:
+            tracer.on_transaction(self, now, outcome)
 
     def _finalize(self) -> None:
         """End-of-run bookkeeping: take the final metrics sample.
@@ -192,6 +232,8 @@ class Simulation:
         )
         if self.clock.now > last_sample:
             self.metrics.sample(self.clock.now, self.population, self.store)
+        for tracer in self._tracers:
+            tracer.on_finalize(self)
 
     # ------------------------------------------------------------------ #
     # Event handling                                                       #

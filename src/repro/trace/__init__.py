@@ -1,0 +1,58 @@
+"""Trace capture, replay and divergence bisection.
+
+The trace engine turns "the golden digest changed" into "event 1284 was
+handled differently, and the ``transactions`` stream drew differently
+there":
+
+* :class:`TraceRecorder` / :func:`record_simulation` capture a run's full
+  event dispatch — arrivals (with each entrant's ground-truth behaviour),
+  admission responses, departures, adversary ticks, every transaction
+  slot, plus per-record state digests and per-stream RNG hashes — into a
+  versioned JSON-lines :class:`TraceLog`;
+* :func:`replay_simulation` re-injects a recorded arrival workload into a
+  fresh engine, either with the recorded parameters (bit-identical
+  reproduction) or with a different scheme/knob set (exact A/B deltas);
+* :func:`diff_traces` / :func:`first_divergence` bisect two traces to the
+  first diverging record.
+
+The facet is surfaced through ``RunRequest(trace=...)`` in :mod:`repro.api`
+and the ``python -m repro trace`` CLI group.
+"""
+
+from .diff import TraceDivergence, diff_traces, first_divergence
+from .digest import engine_state_digest, stream_state_hashes
+from .log import (
+    TRACE_FORMAT,
+    TRACE_FORMAT_VERSION,
+    TraceFormatError,
+    TraceHeader,
+    TraceLog,
+    TraceRecord,
+    load_trace_header,
+    trace_file_digest,
+)
+from .recorder import TraceRecorder, record_simulation
+from .replayer import build_replay_simulation, replay_simulation
+from .spec import TRACE_MODES, TraceSpec
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_FORMAT_VERSION",
+    "TRACE_MODES",
+    "TraceFormatError",
+    "TraceHeader",
+    "TraceLog",
+    "TraceRecord",
+    "TraceSpec",
+    "TraceRecorder",
+    "TraceDivergence",
+    "record_simulation",
+    "build_replay_simulation",
+    "replay_simulation",
+    "diff_traces",
+    "first_divergence",
+    "engine_state_digest",
+    "stream_state_hashes",
+    "load_trace_header",
+    "trace_file_digest",
+]

@@ -1,0 +1,119 @@
+"""The divergence bisector: where did two runs of one trace part ways?
+
+Given two traces (typically the original recording and a re-recorded
+replay), :func:`first_divergence` reports the first record index at which
+they differ — and *what* differs there: the event kind or time (the
+schedules diverged), the payload (the same event was handled differently),
+a per-stream RNG hash (that stream consumed different draws — usually the
+most precise culprit), or the state digest (the handlers mutated state
+differently).  A golden-digest mismatch thus turns into an exact event
+index instead of a shrug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .log import TraceLog, TraceRecord
+
+__all__ = ["TraceDivergence", "first_divergence", "diff_traces"]
+
+
+@dataclass(frozen=True)
+class TraceDivergence:
+    """One point of disagreement between two traces.
+
+    ``index`` is the trace record index (-1 for whole-trace fields like the
+    footer digests); ``field`` names what differs (``kind``, ``time``,
+    ``payload``, ``state_digest``, ``stream:<name>``, ``length``,
+    ``final_state_digest``, ``summary_digest``).
+    """
+
+    index: int
+    field: str
+    a: Any
+    b: Any
+
+    def describe(self) -> str:
+        where = "footer" if self.index < 0 else f"record {self.index}"
+        return f"{where} {self.field}: {self.a!r} != {self.b!r}"
+
+
+def _record_divergences(
+    index: int, a: TraceRecord, b: TraceRecord
+) -> list[TraceDivergence]:
+    found = []
+    if a.kind != b.kind:
+        found.append(TraceDivergence(index, "kind", a.kind, b.kind))
+    if a.time != b.time:
+        found.append(TraceDivergence(index, "time", a.time, b.time))
+    if a.payload != b.payload:
+        found.append(TraceDivergence(index, "payload", a.payload, b.payload))
+    # Stream hashes pinpoint *which* randomness source diverged.
+    for name in sorted(set(a.streams) & set(b.streams)):
+        if a.streams[name] != b.streams[name]:
+            found.append(
+                TraceDivergence(
+                    index, f"stream:{name}", a.streams[name], b.streams[name]
+                )
+            )
+    # Digests are only comparable when both sides recorded one (the two
+    # traces may use different digest_every cadences).
+    if a.state_digest and b.state_digest and a.state_digest != b.state_digest:
+        found.append(
+            TraceDivergence(index, "state_digest", a.state_digest, b.state_digest)
+        )
+    return found
+
+
+def diff_traces(
+    a: TraceLog, b: TraceLog, limit: int | None = None
+) -> list[TraceDivergence]:
+    """All divergences between two traces, in record order.
+
+    ``limit`` caps how many are collected (the first one is what matters
+    for bisection; the rest are context).  An empty list means the traces
+    are equivalent at trace granularity.
+    """
+    found: list[TraceDivergence] = []
+
+    def full() -> bool:
+        return limit is not None and len(found) >= limit
+
+    for index in range(min(len(a.records), len(b.records))):
+        found.extend(_record_divergences(index, a.records[index], b.records[index]))
+        if full():
+            return found[:limit]
+    if len(a.records) != len(b.records):
+        found.append(
+            TraceDivergence(
+                min(len(a.records), len(b.records)),
+                "length",
+                len(a.records),
+                len(b.records),
+            )
+        )
+    if (
+        a.final_state_digest
+        and b.final_state_digest
+        and a.final_state_digest != b.final_state_digest
+    ):
+        found.append(
+            TraceDivergence(
+                -1, "final_state_digest", a.final_state_digest, b.final_state_digest
+            )
+        )
+    if a.summary_digest and b.summary_digest and a.summary_digest != b.summary_digest:
+        found.append(
+            TraceDivergence(-1, "summary_digest", a.summary_digest, b.summary_digest)
+        )
+    if limit is not None:
+        return found[:limit]
+    return found
+
+
+def first_divergence(a: TraceLog, b: TraceLog) -> TraceDivergence | None:
+    """The first point where two traces disagree (``None`` if equivalent)."""
+    divergences = diff_traces(a, b, limit=1)
+    return divergences[0] if divergences else None

@@ -1,0 +1,171 @@
+"""The trace recorder: an engine tracer that captures every dispatch.
+
+Attach a :class:`TraceRecorder` to a :class:`~repro.sim.engine.Simulation`
+(via :meth:`~repro.sim.engine.Simulation.attach_tracer`) and run it; the
+recorder builds a :class:`~repro.trace.log.TraceLog` with one record per
+setup, dispatched event and transaction slot.  Peers created while handling
+a record (arrivals, sybil injections, whitewash rebirths) are attributed to
+that record by watching the id allocator, so the replayer can rebuild the
+exact arrival workload without the engine knowing anything about traces.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..core.admission import AdmissionRequest
+from ..core.policies import SelectivePolicy
+from ..metrics.summary import RunSummary, summary_digest
+from ..sim.engine import Simulation
+from ..sim.events import Event, EventKind
+from ..sim.transactions import TransactionOutcome
+from .digest import engine_state_digest, stream_state_hashes
+from .log import TRACE_FORMAT_VERSION, TraceLog, TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import SimulationParameters
+
+__all__ = ["TraceRecorder", "record_simulation"]
+
+
+class TraceRecorder:
+    """Captures an engine run into a :class:`TraceLog`.
+
+    ``digest_every`` thins the expensive state digests: a digest (and the
+    per-stream RNG hashes) is taken on every N-th record.  The event payload
+    itself is always recorded, so even undigested records still diff on
+    payload mismatches.
+    """
+
+    def __init__(
+        self, digest_every: int = 1, pinned_streams: tuple[str, ...] = ()
+    ) -> None:
+        if digest_every < 1:
+            raise ValueError(f"digest_every must be >= 1, got {digest_every}")
+        self.digest_every = digest_every
+        # Streams fed from a trace (replay runs): their RNG state carries no
+        # information, so their hashes are neither recorded nor diffed.
+        self.pinned_streams = tuple(pinned_streams)
+        self.log: TraceLog | None = None
+        self._index = 0
+        self._next_peer_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Engine tracer protocol                                               #
+    # ------------------------------------------------------------------ #
+    def on_setup(self, sim: Simulation) -> None:
+        self.log = TraceLog(
+            seed=sim.seed,
+            params=sim.params.to_dict(),
+            digest_every=self.digest_every,
+            version=TRACE_FORMAT_VERSION,
+            pinned_streams=self.pinned_streams,
+        )
+        self._index = 0
+        self._next_peer_id = sim.population.allocator.next_id
+        payload = {
+            "peers": self._next_peer_id,
+            "active": sim.population.count_active(),
+        }
+        self._append(sim, time=0.0, kind="setup", payload=payload)
+
+    def on_event(self, sim: Simulation, event: Event) -> None:
+        payload = self._event_payload(sim, event)
+        new_peers = self._drain_new_peers(sim)
+        if new_peers:
+            payload["new_peers"] = new_peers
+        self._append(sim, time=event.time, kind=event.kind.value, payload=payload)
+
+    def on_transaction(
+        self, sim: Simulation, now: float, outcome: TransactionOutcome | None
+    ) -> None:
+        if outcome is None:
+            payload: dict[str, Any] = {}
+        else:
+            payload = {
+                "requester": outcome.requester,
+                "respondent": outcome.respondent,
+                "served": outcome.served,
+                "rq": outcome.requester_satisfied,
+                "rp": outcome.respondent_satisfied,
+            }
+        self._append(sim, time=now, kind="transaction", payload=payload)
+
+    def on_finalize(self, sim: Simulation) -> None:
+        assert self.log is not None
+        self.log.final_state_digest = engine_state_digest(sim)
+
+    # ------------------------------------------------------------------ #
+    # Internals                                                            #
+    # ------------------------------------------------------------------ #
+    def _append(
+        self, sim: Simulation, time: float, kind: str, payload: dict[str, Any]
+    ) -> None:
+        assert self.log is not None, "on_setup must run before any record"
+        digest = ""
+        streams: dict[str, str] = {}
+        if self._index % self.digest_every == 0:
+            digest = engine_state_digest(sim)
+            streams = stream_state_hashes(sim)
+            for pinned in self.pinned_streams:
+                streams.pop(pinned, None)
+        self.log.records.append(
+            TraceRecord(
+                index=self._index,
+                time=time,
+                kind=kind,
+                payload=payload,
+                state_digest=digest,
+                streams=streams,
+            )
+        )
+        self._index += 1
+
+    def _drain_new_peers(self, sim: Simulation) -> list[dict[str, Any]]:
+        """Describe every peer allocated since the previous record."""
+        allocator = sim.population.allocator
+        documents = []
+        for peer_id in range(self._next_peer_id, allocator.next_id):
+            peer = sim.population.get(peer_id)
+            policy = peer.introducer_policy
+            document: dict[str, Any] = {
+                "id": peer_id,
+                "kind": peer.behavior.kind.value,
+                "sq": peer.behavior.service_quality,
+                "policy": None if policy is None else policy.name,
+            }
+            if isinstance(policy, SelectivePolicy):
+                document["err"] = policy.error_rate
+            documents.append(document)
+        self._next_peer_id = allocator.next_id
+        return documents
+
+    def _event_payload(self, sim: Simulation, event: Event) -> dict[str, Any]:
+        if event.kind == EventKind.ADMISSION_RESPONSE and isinstance(
+            event.payload, AdmissionRequest
+        ):
+            request = event.payload
+            return {
+                "applicant": request.applicant,
+                "introducer": request.introducer,
+                "accepted": request.accepted,
+            }
+        if event.kind == EventKind.DEPARTURE:
+            return {"peer": int(event.payload)}
+        return {}
+
+
+def record_simulation(
+    params: "SimulationParameters",
+    seed: int | None = None,
+    digest_every: int = 1,
+) -> tuple[RunSummary, TraceLog]:
+    """Run one simulation while recording its full event trace."""
+    sim = Simulation(params, seed=seed)
+    recorder = TraceRecorder(digest_every=digest_every)
+    sim.attach_tracer(recorder)
+    summary = sim.run()
+    log = recorder.log
+    assert log is not None  # on_setup always ran
+    log.summary_digest = summary_digest(summary)
+    return summary, log

@@ -1,0 +1,132 @@
+"""The trace facet of a run request.
+
+A :class:`TraceSpec` says *what the trace engine should do* for one run:
+record the event trace to a file, or replay a previously recorded trace
+(optionally re-recording the replayed run for later diffing).  It is the
+value carried by ``RunRequest.trace`` and accepts the same shorthand
+mappings the CLI and JSON request documents use::
+
+    TraceSpec.parse({"record": "runs/baseline.trace.jsonl"})
+    TraceSpec.parse({"replay": "runs/baseline.trace.jsonl"})
+    TraceSpec.parse({"mode": "replay", "path": "...", "record_to": "..."})
+
+This module stays below the API layer: validation failures raise plain
+:class:`~repro.errors.ConfigurationError`; the API layer translates missing
+trace files into did-you-mean :class:`~repro.api.errors.UnknownNameError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..errors import ConfigurationError
+
+__all__ = ["TraceSpec", "TRACE_MODES"]
+
+#: The two things a trace spec can ask for.
+TRACE_MODES = ("record", "replay")
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """What the trace engine should do for one run.
+
+    Attributes
+    ----------
+    mode:
+        ``"record"`` (capture this run's event trace to ``path``) or
+        ``"replay"`` (re-inject the trace stored at ``path``).
+    path:
+        The trace file: destination when recording, source when replaying.
+    record_to:
+        Replay only — also record the *replayed* run's trace to this path,
+        so the two traces can be bisected with ``repro trace diff``.
+    digest_every:
+        Capture a full state digest every N trace records (1 = every
+        record, the most precise bisection; larger values trade precision
+        for smaller trace files).
+    """
+
+    mode: str
+    path: str
+    record_to: str | None = None
+    digest_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in TRACE_MODES:
+            raise ConfigurationError(
+                f"trace mode must be one of {TRACE_MODES}, got {self.mode!r}"
+            )
+        if not self.path:
+            raise ConfigurationError("trace path must be a non-empty string")
+        object.__setattr__(self, "path", str(self.path))
+        if self.record_to is not None:
+            if self.mode != "replay":
+                raise ConfigurationError(
+                    "trace record_to is only meaningful when replaying "
+                    "(a record request already writes to 'path')"
+                )
+            object.__setattr__(self, "record_to", str(self.record_to))
+        if int(self.digest_every) < 1:
+            raise ConfigurationError(
+                f"trace digest_every must be >= 1, got {self.digest_every}"
+            )
+        object.__setattr__(self, "digest_every", int(self.digest_every))
+
+    # ------------------------------------------------------------------ #
+    # Parsing / serialisation                                              #
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def parse(cls, value: "TraceSpec | Mapping[str, Any] | None") -> "TraceSpec | None":
+        """Normalise the accepted spellings of a trace spec.
+
+        ``None`` passes through (no tracing); an existing spec is returned
+        unchanged; a mapping may use the ``{"record": path}`` / ``{"replay":
+        path}`` shorthands or the explicit ``{"mode", "path", ...}`` form.
+        """
+        if value is None or isinstance(value, TraceSpec):
+            return value
+        if not isinstance(value, Mapping):
+            raise ConfigurationError(
+                "trace must be a mapping like {'record': PATH} or "
+                f"{{'replay': PATH}}, got {type(value).__name__}"
+            )
+        fields = dict(value)
+        shorthand = [mode for mode in TRACE_MODES if mode in fields]
+        if len(shorthand) > 1:
+            raise ConfigurationError(
+                "trace cannot both record and replay; pass exactly one of "
+                "'record' and 'replay'"
+            )
+        if shorthand:
+            mode = shorthand[0]
+            if "mode" in fields or "path" in fields:
+                raise ConfigurationError(
+                    f"trace shorthand {mode!r} cannot be combined with "
+                    "explicit 'mode'/'path' keys"
+                )
+            fields["mode"] = mode
+            fields["path"] = fields.pop(mode)
+        unknown = set(fields) - {"mode", "path", "record_to", "digest_every"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown trace field(s) {sorted(unknown)}; expected "
+                "'record'/'replay' shorthand or mode/path/record_to/"
+                "digest_every"
+            )
+        if "mode" not in fields or "path" not in fields:
+            raise ConfigurationError(
+                "trace needs a mode and a path; use {'record': PATH} or "
+                "{'replay': PATH}"
+            )
+        return cls(**fields)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (accepted back by :meth:`parse`)."""
+        document: dict[str, Any] = {"mode": self.mode, "path": self.path}
+        if self.record_to is not None:
+            document["record_to"] = self.record_to
+        if self.digest_every != 1:
+            document["digest_every"] = self.digest_every
+        return document

@@ -7,9 +7,24 @@ bootstrap modes, stress configurations).  The registry
 orchestration layers — the experiment runner's ``--scenario`` flag, CI smoke
 jobs — resolve presets by name.  Sweeps run a simulation repeatedly while
 varying one parameter, averaging over independent repeats — this is the
-building block every figure-reproducing experiment uses.
+building block every figure-reproducing experiment uses.  The scenario
+fuzzer (:mod:`repro.workloads.fuzz`) is the registry's complement: seeded,
+random-but-valid operating points with property-based invariant checks.
 """
 
+from .fuzz import (
+    FuzzConfig,
+    FuzzReport,
+    FuzzResult,
+    FuzzScenario,
+    InvariantViolation,
+    available_fuzz_generators,
+    check_invariants,
+    fuzz_scenario,
+    register_fuzz_generator,
+    run_fuzz_batch,
+    run_fuzz_scenario,
+)
 from .registry import available_scenarios, get_scenario, register_scenario
 from .scenarios import (
     fixed_credit_baseline,
@@ -39,4 +54,15 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "aggregate_mean",
+    "FuzzConfig",
+    "FuzzScenario",
+    "FuzzResult",
+    "FuzzReport",
+    "InvariantViolation",
+    "register_fuzz_generator",
+    "available_fuzz_generators",
+    "fuzz_scenario",
+    "check_invariants",
+    "run_fuzz_scenario",
+    "run_fuzz_batch",
 ]

@@ -44,7 +44,13 @@ class TestCatalogueSubcommand:
     def test_all_sections_text_has_headers(self, capsys):
         exit_code, out, _ = run_cli(capsys, ["catalogue"])
         assert exit_code == 0
-        for section in ("schemes", "scenarios", "adversaries", "experiments"):
+        for section in (
+            "schemes",
+            "scenarios",
+            "adversaries",
+            "experiments",
+            "fuzz-generators",
+        ):
             assert f"[{section}]" in out
 
     def test_json_mode_round_trips_the_catalogue(self, capsys):
@@ -117,6 +123,9 @@ class TestErrorNormalisation:
             (["experiment", "--scheme", "roqc"], "rocq"),
             (["experiment", "--scenario", "tiny_tset"], "tiny_test"),
             (["experiment", "--only", "figure99"], "did you mean"),
+            (["trace", "diff", "no-such.jsonl", "also-missing.jsonl"], "unknown trace"),
+            (["trace", "replay", "no-such.jsonl"], "unknown trace"),
+            (["trace", "fuzz", "--scheme", "roqc"], "rocq"),
         ],
     )
     def test_unknown_names_exit_2_with_hint(self, capsys, argv, hint):
@@ -134,6 +143,174 @@ class TestErrorNormalisation:
         exit_code, _, err = run_cli(capsys, ["run", "--adversary", "{bad json"])
         assert exit_code == 2
         assert "not valid JSON" in err
+
+
+class TestTraceSubcommand:
+    """`trace record/replay/diff/fuzz` against a downscaled tiny_test run."""
+
+    RECORD_ARGS = ["--scenario", "tiny_test", "--seed", "5", "--scale", "0.1"]
+    FUZZ_ARGS = ["--seed", "11", "--max-transactions", "400", "--max-peers", "20"]
+
+    @pytest.fixture()
+    def recorded_trace(self, tmp_path, capsys):
+        path = tmp_path / "base.jsonl"
+        exit_code, _, _ = run_cli(
+            capsys,
+            ["trace", "record", *self.RECORD_ARGS, "--out", str(path), "--quiet"],
+        )
+        assert exit_code == 0
+        return path
+
+    def test_record_reports_path_and_digest(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        exit_code, out, _ = run_cli(
+            capsys,
+            ["trace", "record", *self.RECORD_ARGS, "--out", str(path), "--quiet"],
+        )
+        assert exit_code == 0
+        assert path.exists()
+        assert str(path) in out
+        assert "summary digest:" in out
+
+    def test_record_json_mode(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        exit_code, out, _ = run_cli(
+            capsys,
+            ["trace", "record", *self.RECORD_ARGS,
+             "--out", str(path), "--quiet", "--json"],
+        )
+        assert exit_code == 0
+        document = json.loads(out)
+        assert document["trace"] == str(path)
+        assert document["summary_digest"]
+        assert document["fingerprint"]
+
+    def test_unmodified_replay_is_bit_identical(self, recorded_trace, capsys):
+        exit_code, out, _ = run_cli(
+            capsys, ["trace", "replay", str(recorded_trace), "--quiet"]
+        )
+        assert exit_code == 0
+        assert "bit-identical" in out
+
+    def test_modified_replay_diverges_without_failing(
+        self, recorded_trace, tmp_path, capsys
+    ):
+        replay_to = tmp_path / "beta.jsonl"
+        exit_code, out, _ = run_cli(
+            capsys,
+            ["trace", "replay", str(recorded_trace), "--scheme", "beta",
+             "--record-to", str(replay_to), "--quiet", "--json"],
+        )
+        assert exit_code == 0
+        document = json.loads(out)
+        assert document["identical"] is False
+        assert document["modified"] is True
+        assert replay_to.exists()
+
+        exit_code, out, _ = run_cli(
+            capsys, ["trace", "diff", str(recorded_trace), str(replay_to)]
+        )
+        assert exit_code == 1
+        assert "first divergence:" in out
+
+    def test_diff_of_identical_traces_exits_0(self, recorded_trace, capsys):
+        exit_code, out, _ = run_cli(
+            capsys, ["trace", "diff", str(recorded_trace), str(recorded_trace)]
+        )
+        assert exit_code == 0
+        assert "identical" in out
+
+    def test_diff_json_mode(self, recorded_trace, capsys):
+        exit_code, out, _ = run_cli(
+            capsys,
+            ["trace", "diff", str(recorded_trace), str(recorded_trace), "--json"],
+        )
+        assert exit_code == 0
+        document = json.loads(out)
+        assert document["identical"] is True
+        assert document["divergences"] == []
+
+    def test_missing_trace_exits_2_with_sibling_hint(self, recorded_trace, capsys):
+        missing = recorded_trace.parent / "bsae.jsonl"
+        exit_code, _, err = run_cli(capsys, ["trace", "replay", str(missing)])
+        assert exit_code == 2
+        assert "did you mean" in err
+        assert str(recorded_trace) in err
+
+    def test_fuzz_clean_batch_exits_0(self, capsys):
+        exit_code, out, _ = run_cli(
+            capsys, ["trace", "fuzz", "--count", "3", *self.FUZZ_ARGS, "--quiet"]
+        )
+        assert exit_code == 0
+        assert "all invariants hold" in out
+
+    def test_fuzz_json_mode(self, capsys):
+        exit_code, out, _ = run_cli(
+            capsys,
+            ["trace", "fuzz", "--count", "2", *self.FUZZ_ARGS, "--quiet", "--json"],
+        )
+        assert exit_code == 0
+        document = json.loads(out)
+        assert document["ok"] is True
+        assert len(document["results"]) == 2
+
+
+class TestDottedSetOverrides:
+    """--set routes dotted adversary keys; everything else exits 2 loudly."""
+
+    BASE = ["run", "--scenario", "tiny_test", "--scale", "0.1", "--quiet"]
+
+    def test_adversary_fields_and_knobs_apply(self, capsys):
+        exit_code, out, _ = run_cli(
+            capsys,
+            [*self.BASE, "--adversary", "sybil_swarm",
+             "--set", "adversary.count=2",
+             "--set", "adversary.interval=75",
+             "--set", "adversary.options.waves=2",
+             "--json"],
+        )
+        assert exit_code == 0
+        adversary = json.loads(out)["request"]["adversary"]
+        assert adversary["count"] == 2
+        assert adversary["interval"] == 75.0
+        assert adversary["options"]["waves"] == 2.0
+
+    def test_non_adversary_dotted_root_exits_2(self, capsys):
+        exit_code, _, err = run_cli(
+            capsys, [*self.BASE, "--set", "lending.intro_amount=0.2"]
+        )
+        assert exit_code == 2
+        assert "dotted keys address the adversary spec only" in err
+
+    def test_dotted_adversary_without_adversary_exits_2(self, capsys):
+        exit_code, _, err = run_cli(capsys, [*self.BASE, "--set", "adversary.count=2"])
+        assert exit_code == 2
+        assert "pass --adversary NAME" in err
+
+    def test_unknown_adversary_field_exits_2(self, capsys):
+        exit_code, _, err = run_cli(
+            capsys,
+            [*self.BASE, "--adversary", "sybil_swarm", "--set", "adversary.bogus=1"],
+        )
+        assert exit_code == 2
+        assert "unknown adversary field" in err
+
+    def test_unparsable_value_exits_2(self, capsys):
+        exit_code, _, err = run_cli(
+            capsys,
+            [*self.BASE, "--adversary", "sybil_swarm", "--set", "adversary.count=abc"],
+        )
+        assert exit_code == 2
+        assert "adversary.count" in err
+
+    def test_unknown_knob_exits_2(self, capsys):
+        exit_code, _, err = run_cli(
+            capsys,
+            [*self.BASE, "--adversary", "sybil_swarm",
+             "--set", "adversary.options.bogus=1"],
+        )
+        assert exit_code == 2
+        assert "bogus" in err
 
 
 class TestExperimentSubcommand:
