@@ -64,8 +64,27 @@ class RunResult:
         joined = "\n".join(summary_digest(summary) for summary in self.summaries)
         return hashlib.sha256(joined.encode("utf-8")).hexdigest()
 
+    def elapsed_seconds(self) -> float:
+        """Total simulated wall-clock seconds summed across the repeats."""
+        return sum(summary.elapsed_seconds for summary in self.summaries)
+
+    def tx_per_sec(self) -> float | None:
+        """Aggregate transaction throughput, or ``None`` without timing data.
+
+        Cache hits replay stored summaries, whose elapsed time reflects the
+        original run — throughput stays comparable across cached re-runs.
+        """
+        elapsed = self.elapsed_seconds()
+        if elapsed <= 0:
+            return None
+        transactions = sum(
+            summary.transactions_attempted for summary in self.summaries
+        )
+        return transactions / elapsed
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable representation (used by ``repro run --json``)."""
+        throughput = self.tx_per_sec()
         return {
             "request": self.request.to_dict(),
             "params": self.params.to_dict(),
@@ -73,6 +92,8 @@ class RunResult:
             "backend": self.backend,
             "cache_hits": self.cache_hits,
             "digest": self.digest(),
+            "elapsed_seconds": round(self.elapsed_seconds(), 6),
+            "tx_per_sec": round(throughput, 1) if throughput is not None else None,
         }
 
 

@@ -20,7 +20,10 @@ from .hotpath import (
     HotpathBenchConfig,
     bench_assignment_lookup,
     bench_end_to_end,
+    bench_quick_reference,
     bench_ring_ops,
+    compare_reports,
+    format_compare_table,
     legacy_membership_path,
     run_hotpath_benchmarks,
     write_report,
@@ -30,7 +33,10 @@ __all__ = [
     "HotpathBenchConfig",
     "bench_assignment_lookup",
     "bench_end_to_end",
+    "bench_quick_reference",
     "bench_ring_ops",
+    "compare_reports",
+    "format_compare_table",
     "legacy_membership_path",
     "run_hotpath_benchmarks",
     "write_report",

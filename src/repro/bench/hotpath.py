@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import platform
 import time
 from contextlib import contextmanager
@@ -40,9 +41,14 @@ __all__ = [
     "HotpathBenchConfig",
     "legacy_membership_path",
     "bench_end_to_end",
+    "bench_quick_reference",
     "bench_ring_ops",
     "bench_assignment_lookup",
+    "bench_event_queue",
+    "bench_eigentrust_refresh",
     "run_hotpath_benchmarks",
+    "compare_reports",
+    "format_compare_table",
     "write_report",
 ]
 
@@ -188,6 +194,50 @@ def bench_end_to_end(config: HotpathBenchConfig) -> list[dict[str, Any]]:
     return rows
 
 
+def bench_quick_reference(samples: int = 3) -> list[dict[str, Any]]:
+    """Optimised-path throughput at the CI gate's quick sizes.
+
+    Short runs do not amortise per-run set-up costs, so the full-size
+    ``end_to_end`` tx/s is not a valid yardstick for a ``--quick`` run.
+    The committed baseline embeds these rows so the perf gate can compare
+    its quick run against numbers measured at the same scale.
+
+    Quick runs finish in well under a second, where single-sample timings
+    swing by double-digit percentages, so each row records two numbers:
+    ``tx_per_sec`` — the *minimum* over ``samples`` timed runs, the
+    slowest plausible good run, used as the baseline yardstick — and
+    ``best_tx_per_sec`` — the maximum, the machine's demonstrated
+    capability, used as the current side of the gate.  Scheduler noise
+    only ever lowers a sample, so comparing current-best against
+    baseline-worst means a gate failure requires a *sustained* slowdown,
+    not an unlucky scheduling quantum; a genuine 2x slowdown still lands
+    far below the yardstick.
+    """
+    quick = HotpathBenchConfig.quick()
+    rows: list[dict[str, Any]] = []
+    for name, arrival_rate in _WORKLOADS:
+        params = (
+            paper_default(seed=quick.seed)
+            .scaled(quick.num_transactions / _PAPER_HORIZON)
+            .with_overrides(arrival_rate=arrival_rate)
+        )
+        _timed_run(params)  # one warm-up run; cheap at quick size
+        rates = []
+        for _ in range(max(1, samples)):
+            elapsed, _ = _timed_run(params)
+            rates.append(round(params.num_transactions / elapsed, 1))
+        rows.append(
+            {
+                "workload": name,
+                "num_transactions": params.num_transactions,
+                "tx_per_sec": min(rates),
+                "best_tx_per_sec": max(rates),
+                "samples": rates,
+            }
+        )
+    return rows
+
+
 # --------------------------------------------------------------------- #
 # Microbenchmarks                                                         #
 # --------------------------------------------------------------------- #
@@ -267,22 +317,121 @@ def bench_assignment_lookup(config: HotpathBenchConfig) -> dict[str, Any]:
     }
 
 
+def bench_event_queue(config: HotpathBenchConfig) -> dict[str, Any]:
+    """Push/pop throughput of the calendar queue vs the heapq reference.
+
+    Both queues are driven through the identical schedule/pop_due sequence a
+    simulation produces (monotone batched pops over jittered arrival times),
+    so the comparison isolates the queue data structure itself.
+    """
+    from ..sim.event_queue import CalendarEventQueue, EventQueue
+    from ..sim.events import EventKind
+
+    ops = max(1_000, config.lookups * 5)
+
+    def drive(queue: Any) -> float:
+        started = time.perf_counter()
+        time_base = 0.0
+        scheduled = 0
+        while scheduled < ops:
+            # A burst of near-future events, then drain everything due —
+            # the dense-arrival pattern growth workloads produce.
+            for offset in range(8):
+                queue.schedule(
+                    time_base + (offset * 0.37) % 3.0, EventKind.SAMPLE
+                )
+                scheduled += 1
+            time_base += 1.0
+            for _ in queue.pop_due(time_base):
+                pass
+        while queue:
+            queue.pop()
+        return time.perf_counter() - started
+
+    heapq_elapsed = drive(EventQueue())
+    calendar_elapsed = drive(CalendarEventQueue())
+    return {
+        "ops": ops,
+        "heapq_us_per_op": round(heapq_elapsed / ops * 1e6, 3),
+        "calendar_us_per_op": round(calendar_elapsed / ops * 1e6, 3),
+        "speedup": round(heapq_elapsed / calendar_elapsed, 2)
+        if calendar_elapsed > 0
+        else None,
+    }
+
+
+def bench_eigentrust_refresh(config: HotpathBenchConfig) -> dict[str, Any]:
+    """Incremental EigenTrust refresh vs the full-rebuild path.
+
+    Seeds one interaction log, then measures the per-refresh cost of
+    ``score_table`` when each refresh only dirties a single rater row —
+    once on a system allowed to update incrementally and once on a system
+    forced to rebuild the local-trust matrix every call
+    (``full_recompute_every=1`` after priming).  Both produce bit-identical
+    matrices; only the time differs.
+    """
+    from ..reputation.eigentrust import EigenTrust
+
+    peers = min(200, max(40, config.lookup_ring_size // 10))
+    seed_reports = peers * 4
+    refreshes = max(10, config.churn_ops // 2)
+
+    def build(full_recompute_every: int) -> EigenTrust:
+        system = EigenTrust(full_recompute_every=full_recompute_every)
+        state = 12345
+        for index in range(seed_reports):
+            state = (state * 1103515245 + 12345) % (1 << 31)
+            rater = state % peers
+            state = (state * 1103515245 + 12345) % (1 << 31)
+            subject = state % peers
+            if rater != subject:
+                system.record_interaction(rater, subject, index % 3 != 0)
+        system.score_table()  # prime the matrix and warm vector
+        return system
+
+    def drive(system: EigenTrust) -> float:
+        started = time.perf_counter()
+        for index in range(refreshes):
+            system.record_interaction(index % peers, (index + 1) % peers, True)
+            system.score_table()
+        return (time.perf_counter() - started) / refreshes
+
+    incremental = drive(build(full_recompute_every=1_000_000))
+    full = drive(build(full_recompute_every=1))
+    return {
+        "peers": peers,
+        "seed_reports": seed_reports,
+        "refreshes": refreshes,
+        "full_rebuild_us_per_refresh": round(full * 1e6, 2),
+        "incremental_us_per_refresh": round(incremental * 1e6, 2),
+        "speedup": round(full / incremental, 2) if incremental > 0 else None,
+    }
+
+
 # --------------------------------------------------------------------- #
 # Report assembly                                                         #
 # --------------------------------------------------------------------- #
-def run_hotpath_benchmarks(config: HotpathBenchConfig) -> dict[str, Any]:
+def run_hotpath_benchmarks(
+    config: HotpathBenchConfig, include_profile: bool = True
+) -> dict[str, Any]:
     """Run every benchmark and assemble the report document."""
+    from .profiling import profile_workload
+
     end_to_end = bench_end_to_end(config)
     report = {
         "benchmark": "hotpath",
         "description": (
-            "Membership-change hot path: incremental overlay rewiring + "
-            "targeted assignment invalidation vs the seed's full "
-            "rewire/blanket invalidation"
+            "Simulation-core hot path: incremental overlay rewiring, "
+            "targeted assignment invalidation, batched ROCQ aggregation, "
+            "incremental EigenTrust and the slimmed event loop vs the "
+            "seed's implementations"
         ),
         "created_unix": int(time.time()),
         "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "platform": platform.platform(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
         "config": {
             "num_transactions": config.num_transactions,
             "seed": config.seed,
@@ -293,14 +442,143 @@ def run_hotpath_benchmarks(config: HotpathBenchConfig) -> dict[str, Any]:
             "warmup": config.warmup,
         },
         "end_to_end": end_to_end,
+        "quick_reference": bench_quick_reference(),
         "micro": {
             "ring_ops": bench_ring_ops(config),
             "assignment_lookup": bench_assignment_lookup(config),
+            "event_queue": bench_event_queue(config),
+            "eigentrust_refresh": bench_eigentrust_refresh(config),
         },
         "max_end_to_end_speedup": max(row["speedup"] for row in end_to_end),
         "all_bit_identical": all(row["bit_identical"] for row in end_to_end),
     }
+    if include_profile:
+        report["profile"] = profile_workload(
+            num_transactions=config.num_transactions,
+            seed=config.seed,
+            top=10,
+            warmup=config.warmup > 0,
+        )
     return report
+
+
+# --------------------------------------------------------------------- #
+# Baseline comparison (the CI perf gate's primitive)                      #
+# --------------------------------------------------------------------- #
+def compare_reports(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    tolerance: float = 0.25,
+) -> dict[str, Any]:
+    """Compare per-workload end-to-end throughput against a baseline report.
+
+    A workload regresses when its current throughput falls more than
+    ``tolerance`` (fractional) below the baseline's number *at the same
+    scale*: the baseline row's own ``end_to_end`` entry when the transaction
+    counts match, else the reports' ``quick_reference`` rows (the committed
+    full-size report embeds quick-size measurements precisely so the CI
+    gate's ``--quick`` run has a like-for-like yardstick).  On the
+    quick-reference path the baseline side is the recorded worst good run
+    (``tx_per_sec``) and the current side the best observed run
+    (``best_tx_per_sec``), so sub-second timing noise cannot trip the gate
+    but a sustained slowdown still does.  When no same-scale number exists
+    the delta is reported but never gated — short runs do not amortise
+    set-up costs, so cross-scale tx/s comparisons are meaningless.
+    Workloads present in only one report are listed but never counted as
+    regressions.  Faster-than-baseline results always pass.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must be within [0, 1)")
+    baseline_rows = {row["workload"]: row for row in baseline.get("end_to_end", [])}
+    baseline_quick = {
+        row["workload"]: row for row in baseline.get("quick_reference", [])
+    }
+    current_rows = {row["workload"]: row for row in current.get("end_to_end", [])}
+    current_quick = {
+        row["workload"]: row for row in current.get("quick_reference", [])
+    }
+    rows: list[dict[str, Any]] = []
+    for workload in sorted(baseline_rows | current_rows):
+        base = baseline_rows.get(workload)
+        new = current_rows.get(workload)
+        if base is None or new is None:
+            rows.append(
+                {
+                    "workload": workload,
+                    "baseline_tx_per_sec": base["after"]["tx_per_sec"] if base else None,
+                    "current_tx_per_sec": new["after"]["tx_per_sec"] if new else None,
+                    "baseline_source": None,
+                    "delta": None,
+                    "regression": False,
+                }
+            )
+            continue
+        new_tx = new["after"]["tx_per_sec"]
+        new_scale = new.get("num_transactions")
+        quick = baseline_quick.get(workload)
+        new_quick = current_quick.get(workload)
+        if base.get("num_transactions") == new_scale:
+            base_tx, source, gated = base["after"]["tx_per_sec"], "end_to_end", True
+        elif (
+            quick is not None
+            and new_quick is not None
+            and quick.get("num_transactions") == new_quick.get("num_transactions")
+        ):
+            base_tx, source, gated = quick["tx_per_sec"], "quick_reference", True
+            new_tx = new_quick.get("best_tx_per_sec", new_quick["tx_per_sec"])
+        elif quick is not None and quick.get("num_transactions") == new_scale:
+            base_tx, source, gated = quick["tx_per_sec"], "quick_reference", True
+        else:
+            base_tx, source, gated = (
+                base["after"]["tx_per_sec"],
+                "scale_mismatch",
+                False,
+            )
+        delta = (new_tx - base_tx) / base_tx if base_tx > 0 else 0.0
+        rows.append(
+            {
+                "workload": workload,
+                "baseline_tx_per_sec": base_tx,
+                "current_tx_per_sec": new_tx,
+                "baseline_source": source,
+                "delta": round(delta, 4),
+                "regression": gated and new_tx < base_tx * (1.0 - tolerance),
+            }
+        )
+    return {
+        "tolerance": tolerance,
+        "baseline_machine": baseline.get("platform", baseline.get("machine")),
+        "current_machine": current.get("platform", current.get("machine")),
+        "workloads": rows,
+        "regressed": any(row["regression"] for row in rows),
+    }
+
+
+def format_compare_table(comparison: dict[str, Any]) -> str:
+    """Render a :func:`compare_reports` result as an aligned text table."""
+    lines = [
+        f"{'workload':<18} {'baseline':>12} {'current':>12} {'delta':>8}  verdict"
+    ]
+    for row in comparison["workloads"]:
+        base = row["baseline_tx_per_sec"]
+        new = row["current_tx_per_sec"]
+        delta = row["delta"]
+        verdict = "REGRESSION" if row["regression"] else "ok"
+        if delta is None:
+            verdict = "n/a"
+        elif row.get("baseline_source") == "scale_mismatch":
+            verdict = "n/a (scale)"
+        lines.append(
+            f"{row['workload']:<18} "
+            f"{base if base is not None else '-':>12} "
+            f"{new if new is not None else '-':>12} "
+            f"{f'{delta:+.1%}' if delta is not None else '-':>8}  {verdict}"
+        )
+    lines.append(
+        f"tolerance: -{comparison['tolerance']:.0%} -> "
+        + ("FAIL" if comparison["regressed"] else "PASS")
+    )
+    return "\n".join(lines)
 
 
 def write_report(report: dict[str, Any], out_path: str | Path) -> Path:

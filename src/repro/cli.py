@@ -518,7 +518,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------- #
 def _cmd_bench(args: argparse.Namespace) -> int:
     # Imported per command: only this subcommand needs the bench package.
-    from .bench.hotpath import HotpathBenchConfig, write_report
+    from .bench.hotpath import (
+        HotpathBenchConfig,
+        compare_reports,
+        format_compare_table,
+        write_report,
+    )
 
     if args.quick:
         config = HotpathBenchConfig.quick()
@@ -561,6 +566,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not report["all_bit_identical"]:
         _stderr("ERROR: legacy and incremental paths diverged!")
         return 1
+    if args.compare is not None:
+        try:
+            baseline = json.loads(Path(args.compare).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            _stderr(f"error: cannot read baseline report {args.compare}: {exc}")
+            return 2
+        comparison = compare_reports(baseline, report, tolerance=args.tolerance)
+        print(format_compare_table(comparison))
+        if comparison["regressed"]:
+            _stderr(
+                f"ERROR: throughput regressed more than "
+                f"{args.tolerance:.0%} vs {args.compare}"
+            )
+            return 1
+    return 0
+
+
+def _cmd_bench_profile(args: argparse.Namespace) -> int:
+    from .bench.profiling import (
+        format_profile_text,
+        profile_workload,
+        write_profile_report,
+    )
+
+    _stderr(
+        f"profiling growth_stress ({args.transactions:,} transactions, "
+        f"seed {args.seed}) under cProfile ..."
+    )
+    report = profile_workload(
+        num_transactions=args.transactions,
+        seed=args.seed,
+        top=args.top,
+        warmup=not args.no_warmup,
+    )
+    path = write_profile_report(report, args.out)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_profile_text(report))
+    _stderr(f"profile report written to {path}")
     return 0
 
 
@@ -874,7 +919,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="untimed end-to-end runs before each timed one "
         "(default: 1, or 0 with --quick)",
     )
-    bench_parser.set_defaults(handler=_cmd_bench)
+    bench_parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE.json",
+        help=(
+            "after benchmarking, compare per-workload tx/s against this "
+            "committed report and exit 1 on a regression beyond --tolerance"
+        ),
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help=(
+            "fractional throughput drop tolerated by --compare before the "
+            "gate fails (default: 0.25)"
+        ),
+    )
+    bench_parser.set_defaults(handler=_cmd_bench, bench_command=None)
+
+    bench_subparsers = bench_parser.add_subparsers(dest="bench_command")
+    profile_parser = bench_subparsers.add_parser(
+        "profile",
+        help=(
+            "run growth_stress under cProfile and emit a JSON + text "
+            "hotspot report aggregated by subsystem"
+        ),
+    )
+    profile_parser.add_argument(
+        "--transactions",
+        type=_positive_int,
+        default=5_000,
+        help="horizon of the profiled run (default: 5000)",
+    )
+    profile_parser.add_argument("--seed", type=int, default=1, help="master seed")
+    profile_parser.add_argument(
+        "--top",
+        type=_positive_int,
+        default=20,
+        help="number of functions in the hotspot list (default: 20)",
+    )
+    profile_parser.add_argument(
+        "--out",
+        default="PROFILE_hotpath.json",
+        help="where to write the JSON report (default: ./PROFILE_hotpath.json)",
+    )
+    profile_parser.add_argument(
+        "--no-warmup",
+        action="store_true",
+        help="skip the untimed warm-up run before the profiled one",
+    )
+    profile_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the JSON document instead of the text hotspot table",
+    )
+    profile_parser.set_defaults(handler=_cmd_bench_profile)
 
     catalogue_parser = subparsers.add_parser(
         "catalogue",

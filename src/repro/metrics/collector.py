@@ -125,22 +125,21 @@ class MetricsCollector:
     # ------------------------------------------------------------------ #
     def sample(self, time: float, population: Population, store: ReputationBackend) -> None:
         """Take one periodic snapshot of reputations and peer counts."""
-        coop_values = []
-        uncoop_values = []
+        coop_sum = 0.0
+        uncoop_sum = 0.0
         coop_count = 0
         uncoop_count = 0
+        reputation_of = store.global_reputation
         for peer in population.active_peers():
-            reputation = store.global_reputation(peer.peer_id)
+            reputation = reputation_of(peer.peer_id)
             if peer.is_cooperative:
-                coop_values.append(reputation)
+                coop_sum += reputation
                 coop_count += 1
             else:
-                uncoop_values.append(reputation)
+                uncoop_sum += reputation
                 uncoop_count += 1
-        coop_avg = sum(coop_values) / len(coop_values) if coop_values else float("nan")
-        uncoop_avg = (
-            sum(uncoop_values) / len(uncoop_values) if uncoop_values else float("nan")
-        )
+        coop_avg = coop_sum / coop_count if coop_count else float("nan")
+        uncoop_avg = uncoop_sum / uncoop_count if uncoop_count else float("nan")
         self.cooperative_reputation.append(time, coop_avg)
         self.uncooperative_reputation.append(time, uncoop_avg)
         self.cooperative_count.append(time, float(coop_count))

@@ -34,6 +34,24 @@ class ScoreManagerAssignment:
     #: can be disabled for tiny test rings where exclusion is impossible).
     exclude_self: bool = True
     _reassignments: int = field(default=0, repr=False)
+    #: Memoised replica keys per subject.  ``replica_key`` is a pure hash of
+    #: ``(peer_id, replica_index)`` — independent of ring membership — so the
+    #: tuple never needs invalidation; without it every cold assignment
+    #: lookup pays ``num_score_managers`` SHA-1 digests.
+    _replica_keys: dict[PeerId, tuple[int, ...]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def replica_keys_for(self, peer_id: PeerId) -> tuple[int, ...]:
+        """The DHT keys of ``peer_id``'s score-manager replicas (memoised)."""
+        keys = self._replica_keys.get(peer_id)
+        if keys is None:
+            keys = tuple(
+                replica_key(peer_id, index)
+                for index in range(self.num_score_managers)
+            )
+            self._replica_keys[peer_id] = keys
+        return keys
 
     def managers_for(self, peer_id: PeerId) -> list[PeerId]:
         """Return the peers currently responsible for ``peer_id``'s reputation.
@@ -57,34 +75,81 @@ class ScoreManagerAssignment:
         is what lets the reputation store evict cache entries selectively
         (see :meth:`repro.rocq.store.ReputationStore.membership_changed`).
         """
-        if len(self.ring) == 0:
-            return [], ()
+        managers, dependency_keys, _ = self.assignment_details(peer_id)
+        return managers, dependency_keys
+
+    def assignment_details(
+        self, peer_id: PeerId
+    ) -> tuple[list[PeerId], tuple[int, ...], tuple[tuple[int, int], ...] | None]:
+        """Managers, dependency keys and the clockwise arcs they were picked from.
+
+        The third element holds one ``(replica_key, last_candidate_key)``
+        pair per replica: the candidate list of that replica changes under a
+        **join** exactly when the new node's key lands inside the clockwise
+        interval ``(replica_key, last_candidate_key]``.  The reputation
+        store uses these windows to skip revalidating cached subjects whose
+        arcs a join did not touch.  ``None`` when the ring was too small to
+        produce a full candidate list (then every join can alter the
+        assignment and callers must always revalidate).
+        """
+        ring = self.ring
+        if len(ring) == 0:
+            return [], (), None
         managers: list[PeerId] = []
         seen: set[PeerId] = set()
         dependency_keys: list[int] = []
         dependency_seen: set[int] = set()
-        # At most one candidate (the subject itself) can be skipped, so two
-        # successors per replica key are always enough to pick a manager.
-        candidates_needed = 2 if self.exclude_self else 1
-        for replica_index in range(self.num_score_managers):
-            key = replica_key(peer_id, replica_index)
-            candidates = self.ring.successors_of(key, candidates_needed)
-            chosen: PeerId | None = None
-            for node in candidates:
-                if node.key not in dependency_seen:
-                    dependency_keys.append(node.key)
-                    dependency_seen.add(node.key)
-                if chosen is not None:
-                    continue
-                if self.exclude_self and node.peer_id == peer_id and len(self.ring) > 1:
-                    continue
+        windows: list[tuple[int, int]] = []
+        windows_valid = True
+        if self.exclude_self:
+            # At most one candidate (the subject itself) can be skipped, so
+            # two successors per replica key are always enough to pick a
+            # manager.  The loop is unrolled over the pair: this resolution
+            # runs once per cached subject per membership change on
+            # churn-heavy workloads, so per-replica list allocations matter.
+            skip_self = len(ring) > 1
+            successor_pair = ring.successor_pair
+            for key in self.replica_keys_for(peer_id):
+                first, second = successor_pair(key)
+                first_key = first.key
+                if first_key not in dependency_seen:
+                    dependency_keys.append(first_key)
+                    dependency_seen.add(first_key)
+                if second is None:
+                    # Single-node ring: no full candidate list, no window.
+                    windows_valid = False
+                    chosen = first.peer_id
+                else:
+                    second_key = second.key
+                    if second_key not in dependency_seen:
+                        dependency_keys.append(second_key)
+                        dependency_seen.add(second_key)
+                    windows.append((key, second_key))
+                    if skip_self and first.peer_id == peer_id:
+                        chosen = second.peer_id
+                    else:
+                        chosen = first.peer_id
+                if chosen not in seen:
+                    managers.append(chosen)
+                    seen.add(chosen)
+        else:
+            successor_of = ring.successor_of
+            for key in self.replica_keys_for(peer_id):
+                node = successor_of(key)
+                node_key = node.key
+                if node_key not in dependency_seen:
+                    dependency_keys.append(node_key)
+                    dependency_seen.add(node_key)
+                windows.append((key, node_key))
                 chosen = node.peer_id
-            if chosen is None:
-                chosen = candidates[0].peer_id if candidates else peer_id
-            if chosen not in seen:
-                managers.append(chosen)
-                seen.add(chosen)
-        return managers, tuple(dependency_keys)
+                if chosen not in seen:
+                    managers.append(chosen)
+                    seen.add(chosen)
+        return (
+            managers,
+            tuple(dependency_keys),
+            tuple(windows) if windows_valid else None,
+        )
 
     def managed_by(
         self,

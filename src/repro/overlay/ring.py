@@ -147,15 +147,45 @@ class ChordRing:
 
     def successors_of(self, key: int, count: int) -> list[OverlayNode]:
         """Return up to ``count`` distinct nodes clockwise from ``key``."""
-        if not self._sorted_keys:
+        keys = self._sorted_keys
+        total = len(keys)
+        if not total:
             return []
-        count = min(count, len(self._sorted_keys))
-        start = bisect_left(self._sorted_keys, key % (1 << KEY_SPACE_BITS))
-        result = []
-        for offset in range(count):
-            ring_key = self._sorted_keys[(start + offset) % len(self._sorted_keys)]
-            result.append(self._nodes_by_key[ring_key])
-        return result
+        if count > total:
+            count = total
+        start = bisect_left(keys, key % (1 << KEY_SPACE_BITS))
+        if start == total:
+            start = 0
+        nodes = self._nodes_by_key
+        end = start + count
+        if end <= total:
+            return [nodes[ring_key] for ring_key in keys[start:end]]
+        return [nodes[keys[index % total]] for index in range(start, end)]
+
+    def successor_pair(self, key: int) -> tuple[OverlayNode | None, OverlayNode | None]:
+        """The first two distinct nodes clockwise from ``key`` as a tuple.
+
+        Equivalent to ``successors_of(key, 2)`` but without building a list —
+        manager assignment resolves two candidates per replica key, and on
+        churn-heavy workloads that resolution runs once per cached subject per
+        membership change, so the list allocation is measurable.  The second
+        element is ``None`` on a single-node ring; both are ``None`` when the
+        ring is empty.
+        """
+        keys = self._sorted_keys
+        total = len(keys)
+        if not total:
+            return None, None
+        index = bisect_left(keys, key % (1 << KEY_SPACE_BITS))
+        if index == total:
+            index = 0
+        nodes = self._nodes_by_key
+        first = nodes[keys[index]]
+        if total == 1:
+            return first, None
+        index += 1
+        second = nodes[keys[index if index < total else 0]]
+        return first, second
 
     def responsible_peer(self, key: int) -> PeerId:
         """Peer id of the node responsible for ``key``."""

@@ -78,17 +78,14 @@ class Peer:
     audited: bool = False
     next_request_allowed_at: float = 0.0
     opinions: OpinionBook = field(init=False)
+    #: Ground-truth cooperativeness, resolved once at construction: the
+    #: behaviour model is never swapped after a peer is created, and the
+    #: metrics layer reads this flag for every active peer on every sample.
+    is_cooperative: bool = field(init=False)
 
     def __post_init__(self) -> None:
         self.opinions = OpinionBook(owner=self.peer_id)
-
-    # ------------------------------------------------------------------ #
-    # Convenience predicates                                               #
-    # ------------------------------------------------------------------ #
-    @property
-    def is_cooperative(self) -> bool:
-        """Ground-truth cooperativeness (from the behaviour model)."""
-        return self.behavior.is_cooperative
+        self.is_cooperative = self.behavior.is_cooperative
 
     @property
     def is_active(self) -> bool:

@@ -139,6 +139,18 @@ class LogReputationBackend:
         self._reports_since_refresh += 1
         return self.global_reputation(report.subject)
 
+    def submit_report_batch(self, reports) -> None:
+        """Deliver a batch of reports, in order.
+
+        A centralised log has no per-manager fan-out to coalesce, and
+        :meth:`submit_report` deliberately queries the subject's reputation
+        afterwards — the query is what advances the ``refresh_every``
+        staleness clock.  The batch hook therefore submits sequentially, so
+        score-table refreshes land on exactly the same report as before.
+        """
+        for report in reports:
+            self.submit_report(report)
+
     def apply_adjustment(self, adjustment: ReputationAdjustment) -> float:
         """Move the subject's credit; return the delta actually applied.
 

@@ -33,16 +33,62 @@ class EigenTrust(ReputationSystem):
         damping: float = 0.15,
         max_iterations: int = 100,
         tolerance: float = 1e-10,
+        full_recompute_every: int = 64,
     ) -> None:
         super().__init__()
         if not 0.0 <= damping <= 1.0:
             raise ValueError("damping must be within [0, 1]")
+        if full_recompute_every < 1:
+            raise ValueError("full_recompute_every must be >= 1")
         self.pre_trusted = set(pre_trusted) if pre_trusted else set()
         self.damping = damping
         self.max_iterations = max_iterations
         self.tolerance = tolerance
+        #: Safety valve: :meth:`score_table` refreshes the cached matrix
+        #: incrementally (dirty rows only), but every this-many refreshes it
+        #: rebuilds from the raw log so any drift — e.g. a caller mutating
+        #: :attr:`pre_trusted` in place — is bounded.
+        self.full_recompute_every = full_recompute_every
         #: Last converged trust vector, reused to warm-start :meth:`score_table`.
         self._warm_trust: dict[PeerId, float] = {}
+        # --- incremental-matrix state -------------------------------------
+        #: Cached row-normalised local-trust matrix (None until first build).
+        self._matrix: np.ndarray | None = None
+        #: Peer ordering the cached matrix/pretrust vector were built for.
+        self._matrix_peers: list[PeerId] = []
+        self._matrix_index: dict[PeerId, int] = {}
+        self._pretrust_vector: np.ndarray | None = None
+        #: Raters whose local-trust row changed since the last refresh.
+        self._dirty_rows: set[PeerId] = set()
+        #: Per-rater set of subjects they have ever rated, so one dirty row
+        #: can be rebuilt without scanning every (rater, subject) pair.
+        self._rated_subjects: dict[PeerId, set[PeerId]] = {}
+        self._refreshes_since_rebuild = 0
+        #: Counters exposed for tests/benchmarks: how often score_table took
+        #: the incremental path vs rebuilt the matrix from scratch.
+        self.incremental_refreshes = 0
+        self.full_rebuilds = 0
+
+    # ------------------------------------------------------------------ #
+    # Log ingestion                                                         #
+    # ------------------------------------------------------------------ #
+    def record_interaction(
+        self, rater: PeerId, subject: PeerId, satisfied: bool
+    ) -> None:
+        """Feed one rated interaction and mark the rater's matrix row dirty.
+
+        Only row ``rater`` of the normalised local-trust matrix depends on
+        this interaction (EigenTrust normalises per rater), so the next
+        :meth:`score_table` refresh re-normalises just the dirty rows — a
+        rank-1-per-report update instead of an O(peers²) rebuild.
+        """
+        super().record_interaction(rater, subject, satisfied)
+        self._dirty_rows.add(rater)
+        rated = self._rated_subjects.get(rater)
+        if rated is None:
+            rated = set()
+            self._rated_subjects[rater] = rated
+        rated.add(subject)
 
     # ------------------------------------------------------------------ #
     # Trust computation                                                     #
@@ -73,6 +119,59 @@ class EigenTrust(ReputationSystem):
         elif peers:
             vector[:] = 1.0 / len(peers)
         return vector
+
+    def _rebuild_matrix(self, peers: list[PeerId]) -> None:
+        """Rebuild the cached matrix and pretrust vector from the raw log."""
+        self._matrix = self._local_trust_matrix(peers)
+        self._matrix_peers = list(peers)
+        self._matrix_index = {peer: position for position, peer in enumerate(peers)}
+        self._pretrust_vector = self._pretrust_distribution(peers)
+        self._dirty_rows.clear()
+        self._refreshes_since_rebuild = 0
+        self.full_rebuilds += 1
+
+    def _refresh_matrix(self, peers: list[PeerId]) -> tuple[np.ndarray, np.ndarray]:
+        """Return the row-normalised matrix and pretrust vector for ``peers``.
+
+        Incremental path: when the peer set is unchanged, only the rows of
+        raters with new reports are recomputed — each is a fresh count/
+        normalise of that rater's pairwise entries, so the result is
+        **bit-identical** to a from-scratch :meth:`_local_trust_matrix` (the
+        counts are small integers, exactly representable, and the per-row
+        sum and division are the same float operations numpy's full rebuild
+        performs).  A peer-set change shifts matrix indices, so it triggers a
+        full rebuild, as does the :attr:`full_recompute_every` safety valve.
+        """
+        if (
+            self._matrix is None
+            or peers != self._matrix_peers
+            or self._refreshes_since_rebuild >= self.full_recompute_every
+        ):
+            self._rebuild_matrix(peers)
+            return self._matrix, self._pretrust_vector
+        self._refreshes_since_rebuild += 1
+        self.incremental_refreshes += 1
+        if self._dirty_rows:
+            matrix = self._matrix
+            index = self._matrix_index
+            pretrust = self._pretrust_vector
+            positive = self.log.positive
+            negative = self.log.negative
+            size = len(peers)
+            for rater in self._dirty_rows:
+                row = np.zeros(size)
+                for subject in self._rated_subjects.get(rater, ()):
+                    pair = (rater, subject)
+                    value = positive.get(pair, 0) - negative.get(pair, 0)
+                    if value > 0:
+                        row[index[subject]] = value
+                total = row.sum()
+                if total > 0:
+                    matrix[index[rater]] = row / total
+                else:
+                    matrix[index[rater]] = pretrust
+            self._dirty_rows.clear()
+        return self._matrix, self._pretrust_vector
 
     def global_trust(self) -> dict[PeerId, float]:
         """The converged global trust vector for every peer in the log."""
@@ -107,13 +206,15 @@ class EigenTrust(ReputationSystem):
         iteration once per peer; this batch path runs it once and, unlike
         :meth:`global_trust`, starts from the previously converged vector so
         successive refreshes (the common case inside the simulation adapter)
-        converge in a handful of iterations.
+        converge in a handful of iterations.  The local-trust matrix itself
+        is maintained incrementally across calls (see :meth:`_refresh_matrix`):
+        only rows dirtied by new reports are re-normalised, with a periodic
+        full recompute as a safety valve.
         """
         peers = sorted(self.log.peers)
         if not peers:
             return {}
-        matrix = self._local_trust_matrix(peers)
-        pretrust = self._pretrust_distribution(peers)
+        matrix, pretrust = self._refresh_matrix(peers)
         trust = np.array([self._warm_trust.get(peer, 0.0) for peer in peers])
         total = trust.sum()
         trust = trust / total if total > 0 else pretrust.copy()

@@ -17,7 +17,7 @@ from ..ids import PeerId
 __all__ = ["CredibilityRecord", "CredibilityTable"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CredibilityRecord:
     """Credibility a score manager assigns to one reporter."""
 

@@ -17,7 +17,7 @@ from ..ids import PeerId
 __all__ = ["LocalOpinion", "OpinionBook"]
 
 
-@dataclass
+@dataclass(slots=True)
 class LocalOpinion:
     """Opinion one peer holds about another.
 
@@ -74,6 +74,18 @@ class LocalOpinion:
         return count_term * (0.5 + 0.5 * consistency_term)
 
 
+#: Process-wide free list of recycled :class:`LocalOpinion` instances.
+#: Opinion books of peers that leave the simulation release their objects
+#: here instead of handing them to the allocator; the next book that needs a
+#: fresh opinion re-initialises a pooled one.  Re-initialisation restores
+#: every field to the constructor state, so pooling is invisible to results.
+_OPINION_POOL: list[LocalOpinion] = []
+
+#: Upper bound on pooled objects, so a huge churn storm cannot pin
+#: unbounded memory in the free list.
+_OPINION_POOL_LIMIT = 4096
+
+
 @dataclass
 class OpinionBook:
     """All local opinions held by a single peer, keyed by subject."""
@@ -86,10 +98,33 @@ class OpinionBook:
         """Record the outcome of one transaction with ``subject``."""
         opinion = self._opinions.get(subject)
         if opinion is None:
-            opinion = LocalOpinion()
+            if _OPINION_POOL:
+                opinion = _OPINION_POOL.pop()
+                opinion.value = 0.5
+                opinion.interactions = 0
+                opinion.mean = 0.0
+                opinion.m2 = 0.0
+            else:
+                opinion = LocalOpinion()
             self._opinions[subject] = opinion
         opinion.record(satisfaction, self.smoothing)
         return opinion
+
+    def release(self) -> int:
+        """Return every opinion to the shared pool and empty the book.
+
+        Called when the owning peer permanently leaves the simulation; the
+        recycled objects are reset before reuse, so releasing never leaks
+        state between peers.  Returns the number of opinions released.
+        """
+        released = 0
+        for opinion in self._opinions.values():
+            if len(_OPINION_POOL) >= _OPINION_POOL_LIMIT:
+                break
+            _OPINION_POOL.append(opinion)
+            released += 1
+        self._opinions.clear()
+        return released
 
     def opinion_about(self, subject: PeerId) -> LocalOpinion | None:
         """Return the opinion about ``subject`` or ``None`` if never met."""

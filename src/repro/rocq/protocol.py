@@ -17,7 +17,7 @@ from ..ids import PeerId
 __all__ = ["FeedbackReport", "AdjustmentKind", "ReputationAdjustment"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FeedbackReport:
     """One satisfaction report sent to a subject's score managers.
 
@@ -60,7 +60,7 @@ class AdjustmentKind(str, Enum):
     BOOTSTRAP_CREDIT = "bootstrap_credit"  # fixed-credit baseline grant
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReputationAdjustment:
     """A signed instruction to add ``delta`` to ``subject``'s stored reputation.
 

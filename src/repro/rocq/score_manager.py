@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..ids import PeerId
-from .credibility import CredibilityTable
+from .credibility import CredibilityRecord, CredibilityTable
 from .protocol import FeedbackReport, ReputationAdjustment
 
 __all__ = ["ReputationRecord", "ScoreManager"]
@@ -28,7 +28,7 @@ def _clamp(value: float) -> float:
     return value
 
 
-@dataclass
+@dataclass(slots=True)
 class ReputationRecord:
     """Reputation a single score manager stores for one subject."""
 
@@ -146,20 +146,99 @@ class ScoreManager:
     # Updates                                                              #
     # ------------------------------------------------------------------ #
     def receive_report(self, report: FeedbackReport) -> float:
-        """Process a feedback report; return the subject's new reputation."""
-        record = self.record_for(report.subject)
-        credibility = (
-            self.credibility.credibility_of(report.reporter)
-            if self.use_credibility
-            else 1.0
-        )
-        quality = report.quality if self.use_quality else 1.0
-        weight = self.opinion_smoothing * credibility * max(quality, 0.05)
-        record.apply_report(report.value, weight, report.time)
+        """Process a feedback report; return the subject's new reputation.
+
+        This is the hottest loop of the ROCQ backend — every transaction
+        delivers two reports to ~``numSM`` managers each — so the reporter's
+        credibility record is fetched once and reused for both the weight
+        lookup and the post-update credibility adjustment, and the
+        :meth:`ReputationRecord.apply_report` / credibility-update arithmetic
+        is inlined (same operations in the same order, so results stay
+        bit-identical with the method-call path).
+        """
+        records = self._records
+        subject = report.subject
+        record = records.get(subject)
+        if record is None:
+            record = ReputationRecord()
+            records[subject] = record
+        credibility_table = self.credibility
+        reporter = report.reporter
+        cred = credibility_table._records.get(reporter)
+        weight = self.opinion_smoothing
+        if self.use_credibility:
+            weight *= (
+                cred.value if cred is not None else credibility_table.initial_credibility
+            )
+        if self.use_quality:
+            quality = report.quality
+            weight *= quality if quality > 0.05 else 0.05
+        # Inlined ReputationRecord.apply_report(report.value, weight, time).
+        report_value = report.value
+        if weight > 1.0:
+            weight = 1.0
+        elif weight < 0.0:
+            weight = 0.0
+        if record.reports == 0 and record.adjustments == 0 and not record.seeded:
+            # First evidence with no prior: adopt the reported value outright
+            # (see apply_report for the rationale).
+            value = report_value
+        else:
+            value = (1.0 - weight) * record.value + weight * report_value
+        if value < 0.0:
+            value = 0.0
+        elif value > 1.0:
+            value = 1.0
+        record.value = value
+        record.reports += 1
+        record.last_update = report.time
         # Credibility is updated against the post-update aggregate so a lone
-        # honest report about an unknown subject is not self-penalising.
-        self.credibility.update(report.reporter, report.value, record.value)
-        return record.value
+        # honest report about an unknown subject is not self-penalising
+        # (inlined CredibilityRecord.update).
+        if cred is None:
+            cred = CredibilityRecord(value=credibility_table.initial_credibility)
+            credibility_table._records[reporter] = cred
+        agreement = 1.0 - abs(report_value - value)
+        if agreement < 0.0:
+            agreement = 0.0
+        elif agreement > 1.0:
+            agreement = 1.0
+        gain = credibility_table.gain
+        cred.value = (1.0 - gain) * cred.value + gain * agreement
+        cred.reports += 1
+        return value
+
+    def receive_reports(self, reports: list[FeedbackReport]) -> None:
+        """Process a batch of reports addressed to this manager, in order.
+
+        The batched form of :meth:`receive_report`: the credibility table and
+        the configuration flags are resolved once for the whole batch rather
+        than once per report, and the per-subject record is fetched once per
+        ``(manager, subject)`` group.  Arithmetic and update order match the
+        one-at-a-time path exactly, so results are bit-identical.
+        """
+        credibility = self.credibility
+        use_credibility = self.use_credibility
+        use_quality = self.use_quality
+        smoothing = self.opinion_smoothing
+        records = self._records
+        record: ReputationRecord | None = None
+        record_subject: PeerId | None = None
+        for report in reports:
+            subject = report.subject
+            if record is None or subject != record_subject:
+                record = records.get(subject)
+                if record is None:
+                    record = ReputationRecord()
+                    records[subject] = record
+                record_subject = subject
+            weight = smoothing
+            if use_credibility:
+                weight *= credibility.credibility_of(report.reporter)
+            if use_quality:
+                weight *= max(report.quality, 0.05)
+            record.apply_report(report.value, weight, report.time)
+            credibility.update(report.reporter, report.value, record.value)
 
     def receive_adjustment(self, adjustment: ReputationAdjustment) -> float:
         """Apply a direct adjustment; return the amount actually applied."""

@@ -24,6 +24,16 @@ to cached subjects), so a single join/leave — delivered as a
 subjects whose replica keys land in the changed arc instead of clearing the
 whole cache.  ``invalidate_assignments`` (the blanket clear) remains the
 fallback for callers without structured change information.
+
+On top of the assignment cache sits a **combined-reputation cache**: the
+clamped mean/median ``global_reputation`` computes per subject is memoised
+and invalidated whenever anything that feeds it changes — a report or
+adjustment about the subject, a bootstrap install, a migrated record, a
+departed manager, or an assignment eviction.  Periodic metric samples read
+the reputation of *every* active peer, so between two samples the overwhelm-
+ing majority of subjects are untouched and served from this cache; the
+profiling harness (``python -m repro bench profile``) is what exposed that
+recomputation as the dominant end-to-end cost.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ from typing import Iterable
 
 from ..ids import PeerId
 from ..overlay.assignment import ScoreManagerAssignment
+from ..overlay.hashing import in_interval
 from ..overlay.membership import MembershipChange
 from .protocol import FeedbackReport, ReputationAdjustment
 from .score_manager import ScoreManager
@@ -71,6 +82,17 @@ class ReputationStore:
     _arc_dependencies: dict[PeerId, tuple[int, ...]] = field(
         default_factory=dict, repr=False
     )
+    #: Cached subject -> per-replica ``(replica_key, last_candidate_key)``
+    #: arcs (see :meth:`ScoreManagerAssignment.assignment_details`); a join
+    #: outside every arc provably leaves the assignment untouched.
+    _arc_windows: dict[PeerId, tuple[tuple[int, int], ...] | None] = field(
+        default_factory=dict, repr=False
+    )
+    #: Memoised combined reputation per subject.  Entries exist only for
+    #: subjects whose assignment is cached (so every eviction path that can
+    #: change the manager set also drops the combined value) and are popped
+    #: by every write that can move the underlying replica values.
+    _reputation_cache: dict[PeerId, float] = field(default_factory=dict, repr=False)
     reports_delivered: int = 0
     adjustments_delivered: int = 0
     #: Cache-coherency telemetry (exposed for benchmarks and tests).
@@ -99,7 +121,7 @@ class ReputationStore:
         """Current score managers of ``subject`` (cached)."""
         managers = self._assignment_cache.get(subject)
         if managers is None:
-            managers, dependency_keys = self.assignment.assignment_with_dependencies(
+            managers, dependency_keys, windows = self.assignment.assignment_details(
                 subject
             )
             # An empty ring yields an empty assignment with no dependency
@@ -107,6 +129,7 @@ class ReputationStore:
             if dependency_keys:
                 self._assignment_cache[subject] = managers
                 self._arc_dependencies[subject] = dependency_keys
+                self._arc_windows[subject] = windows
                 for key in dependency_keys:
                     self._arc_dependents.setdefault(key, set()).add(subject)
         return managers
@@ -122,33 +145,80 @@ class ReputationStore:
         self._assignment_cache.clear()
         self._arc_dependents.clear()
         self._arc_dependencies.clear()
+        self._arc_windows.clear()
+        self._reputation_cache.clear()
         self.full_invalidations += 1
 
     def membership_changed(self, change: MembershipChange | None) -> None:
-        """Evict only the cache entries a single join/leave can affect.
+        """Refresh only the cache entries a single join/leave can affect.
 
         A cached assignment depends on a known set of ring nodes (the
         candidate successors of its replica keys).  A **leave** can only
         change assignments that depended on the departed node; a **join** can
         only change assignments that depended on the new node's successor —
-        the node whose arc the newcomer split.  Everything else is untouched,
-        so a membership change costs O(affected subjects) evictions instead
-        of a full cache rebuild.
+        the node whose arc the newcomer split.  Each affected subject is
+        *revalidated in place* against the updated ring: its assignment is
+        recomputed once (the cost a lazy eviction would pay on the next
+        query anyway), and when the manager list turns out unchanged — a
+        frequent outcome, since a join often lands behind the replica key
+        inside the split arc — the memoised combined reputation survives
+        untouched.  Everything else is untouched, so a membership change
+        costs O(affected subjects) instead of a full cache rebuild.
         """
         if change is None:
             self.invalidate_assignments()
             return
-        anchor = change.node_key if change.is_leave else change.successor_key
+        is_leave = change.is_leave
+        anchor = change.node_key if is_leave else change.successor_key
         affected = self._arc_dependents.get(anchor)
         if not affected:
             return
+        joined_key = change.node_key
+        resolve = self.assignment.assignment_details
         for subject in list(affected):
-            self._evict_subject(subject)
+            if not is_leave:
+                # A join only alters this subject's assignment if the new
+                # node's key falls inside one of its candidate arcs; a
+                # departed node, by contrast, *was* a candidate, so leaves
+                # always revalidate.
+                windows = self._arc_windows.get(subject)
+                if windows is not None and not any(
+                    joined_key == start or in_interval(joined_key, start, end)
+                    for start, end in windows
+                ):
+                    continue
+            managers, dependency_keys, windows = resolve(subject)
+            if not dependency_keys:
+                # Ring emptied under us — nothing to keep coherent.
+                self._evict_subject(subject)
+                continue
+            if managers != self._assignment_cache.get(subject):
+                self._assignment_cache[subject] = managers
+                self._reputation_cache.pop(subject, None)
+                self.targeted_evictions += 1
+            self._arc_windows[subject] = windows
+            old_deps = self._arc_dependencies.get(subject, ())
+            if dependency_keys != old_deps:
+                # A single membership change shifts at most a couple of the
+                # subject's candidate nodes; only re-index the difference.
+                old_set = set(old_deps)
+                new_set = set(dependency_keys)
+                for key in old_set - new_set:
+                    dependents = self._arc_dependents.get(key)
+                    if dependents is not None:
+                        dependents.discard(subject)
+                        if not dependents:
+                            del self._arc_dependents[key]
+                self._arc_dependencies[subject] = dependency_keys
+                for key in new_set - old_set:
+                    self._arc_dependents.setdefault(key, set()).add(subject)
 
     def _evict_subject(self, subject: PeerId) -> None:
         """Drop one subject's cached assignment and its reverse-index entries."""
         if self._assignment_cache.pop(subject, None) is None:
             return
+        self._reputation_cache.pop(subject, None)
+        self._arc_windows.pop(subject, None)
         self.targeted_evictions += 1
         for key in self._arc_dependencies.pop(subject, ()):
             dependents = self._arc_dependents.get(key)
@@ -165,18 +235,32 @@ class ReputationStore:
 
         Managers that have never heard of the subject are skipped; if no
         manager has a record the configured default (0 for new entrants, per
-        the paper's bootstrap rule) is returned.
+        the paper's bootstrap rule) is returned.  The combined value is
+        memoised until a write or assignment eviction touches the subject.
         """
-        values = [
-            value
-            for manager_id in self.managers_for(subject)
-            if (value := self._stored_value(manager_id, subject)) is not None
-        ]
+        cached = self._reputation_cache.get(subject)
+        if cached is not None:
+            return cached
+        managers_get = self._managers.get
+        values = []
+        for manager_id in self.managers_for(subject):
+            state = managers_get(manager_id)
+            if state is None:
+                continue
+            value = state.reputation_of(subject)
+            if value is not None:
+                values.append(value)
         if not values:
-            return self.default_reputation
-        if self.combine == "median":
-            return float(statistics.median(values))
-        return float(sum(values) / len(values))
+            result = self.default_reputation
+        elif self.combine == "median":
+            result = float(statistics.median(values))
+        else:
+            result = float(sum(values) / len(values))
+        # Only subjects with a cached assignment are memoised: their entry is
+        # guaranteed to be dropped by the eviction paths when the ring moves.
+        if subject in self._assignment_cache:
+            self._reputation_cache[subject] = result
+        return result
 
     def _stored_value(self, manager_id: PeerId, subject: PeerId) -> float | None:
         state = self._managers.get(manager_id)
@@ -208,6 +292,7 @@ class ReputationStore:
     # ------------------------------------------------------------------ #
     def submit_report(self, report: FeedbackReport) -> float:
         """Deliver ``report`` to every manager of the subject; return new mean."""
+        self._reputation_cache.pop(report.subject, None)
         values = []
         for manager_id in self.managers_for(report.subject):
             state = self.manager_state(manager_id)
@@ -217,8 +302,33 @@ class ReputationStore:
             return self.default_reputation
         return float(sum(values) / len(values))
 
+    def submit_report_batch(self, reports: Iterable[FeedbackReport]) -> None:
+        """Deliver the reports of one event dispatch, in submission order.
+
+        Compared with calling :meth:`submit_report` per report, this skips
+        the per-report combined-mean computation nobody reads (both partners
+        of a transaction report on each other fire-and-forget) and resolves
+        the store-level plumbing once.  Delivery order is preserved within
+        each manager, and distinct managers share no mutable state, so the
+        result is bit-identical to submitting the reports one at a time.
+        """
+        count = 0
+        reputation_pop = self._reputation_cache.pop
+        managers = self._managers
+        for report in reports:
+            subject = report.subject
+            reputation_pop(subject, None)
+            for manager_id in self.managers_for(subject):
+                state = managers.get(manager_id)
+                if state is None:
+                    state = self.manager_state(manager_id)
+                state.receive_report(report)
+                count += 1
+        self.reports_delivered += count
+
     def apply_adjustment(self, adjustment: ReputationAdjustment) -> float:
         """Deliver a direct adjustment to every manager; return mean applied."""
+        self._reputation_cache.pop(adjustment.subject, None)
         applied = []
         for manager_id in self.managers_for(adjustment.subject):
             state = self.manager_state(manager_id)
@@ -230,6 +340,7 @@ class ReputationStore:
 
     def set_reputation(self, subject: PeerId, value: float, time: float = 0.0) -> None:
         """Set the stored reputation at every current manager (bootstrap)."""
+        self._reputation_cache.pop(subject, None)
         for manager_id in self.managers_for(subject):
             self.manager_state(manager_id).set_reputation(subject, value, time)
 
@@ -253,11 +364,14 @@ class ReputationStore:
     ) -> None:
         if not isinstance(record, dict):
             raise TypeError("reputation records migrate as snapshot dicts")
+        self._reputation_cache.pop(subject_id, None)
         self.manager_state(manager_id).install_record(subject_id, record)
 
     def drop_manager(self, manager_id: PeerId) -> None:
         state = self._managers.pop(manager_id, None)
         if state is not None:
+            for subject in state.tracked_subjects():
+                self._reputation_cache.pop(subject, None)
             state.drop_all()
 
     # ------------------------------------------------------------------ #

@@ -44,7 +44,7 @@ from ..rng import RandomStreams
 from ..topology.factory import make_topology
 from .arrivals import ArrivalFactory, PoissonArrivalProcess
 from .clock import SimulationClock
-from .event_queue import EventQueue
+from .event_queue import CalendarEventQueue
 from .events import Event, EventKind
 from .transactions import TransactionEngine
 
@@ -97,7 +97,7 @@ class Simulation:
             metrics=self.metrics,
             rng=self.streams.stream("transactions"),
         )
-        self.events = EventQueue()
+        self.events = CalendarEventQueue()
         self._introducer_rng = self.streams.stream("introducer_choice")
         # The adversary workload, if any.  With ``params.adversary is None``
         # (the default) nothing is built, no events are scheduled and no
@@ -203,9 +203,12 @@ class Simulation:
         the two cannot drift apart.
         """
         self.clock.advance_to(now)
+        events = self.events
         if not self._tracers:
-            for event in self.events.pop_due(now):
-                self._handle_event(event)
+            # Inline pop loop: most time steps have no due event, and the
+            # generator `pop_due` would allocate a frame per step anyway.
+            while events.next_time() <= now:
+                self._handle_event(events.pop())
             self.transactions.execute(now)
             return
         for event in self.events.pop_due(now):

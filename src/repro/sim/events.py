@@ -24,13 +24,15 @@ class EventKind(str, Enum):
     ADVERSARY = "adversary"
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A timestamped event.
 
     Ordering is by time, then by an insertion sequence number assigned by the
     queue, so simultaneous events are processed in the order they were
     scheduled (deterministic replay).  The payload is excluded from ordering.
+    Slots keep the per-event footprint flat — the engine allocates one of
+    these for every arrival, admission response, sample and departure.
     """
 
     time: float

@@ -34,7 +34,7 @@ from ..topology.base import TopologyModel
 __all__ = ["TransactionOutcome", "TransactionEngine"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransactionOutcome:
     """Everything that happened in one transaction (or attempted transaction)."""
 
@@ -62,6 +62,13 @@ class TransactionEngine:
     lending: LendingManager
     metrics: MetricsCollector
     rng: np.random.Generator
+
+    def __post_init__(self) -> None:
+        # Resolved once: backends that implement the batched delivery hook
+        # receive both of a transaction's reports in one call (the ROCQ
+        # store groups them by manager); older/third-party backends fall
+        # back to sequential submission with identical results.
+        self._submit_batch = getattr(self.store, "submit_report_batch", None)
 
     # ------------------------------------------------------------------ #
     # Main entry point                                                      #
@@ -148,16 +155,26 @@ class TransactionEngine:
         requester_satisfied: bool,
         respondent_satisfied: bool,
     ) -> None:
-        """Both partners report to each other's score managers."""
-        self._send_report(time, reporter=requester, subject=respondent,
-                          satisfied=requester_satisfied)
-        self._send_report(time, reporter=respondent, subject=requester,
-                          satisfied=respondent_satisfied)
+        """Both partners report to each other's score managers.
 
-    def _send_report(
+        Both reports are built first (opinion books update in the same order
+        as ever) and delivered as one batch when the backend supports it, so
+        manager lookup and aggregation run once per event dispatch.
+        """
+        first = self._build_report(time, reporter=requester, subject=respondent,
+                                   satisfied=requester_satisfied)
+        second = self._build_report(time, reporter=respondent, subject=requester,
+                                    satisfied=respondent_satisfied)
+        if self._submit_batch is not None:
+            self._submit_batch((first, second))
+        else:
+            self.store.submit_report(first)
+            self.store.submit_report(second)
+
+    def _build_report(
         self, time: float, reporter: Peer, subject: Peer, satisfied: bool
-    ) -> None:
-        """Build and deliver one feedback report."""
+    ) -> FeedbackReport:
+        """Record the reporter's local opinion and build its feedback report."""
         opinion = reporter.opinions.record_interaction(
             subject.peer_id, 1.0 if satisfied else 0.0
         )
@@ -166,14 +183,13 @@ class TransactionEngine:
             value = behavior.report_value_about(subject.peer_id, satisfied)
         else:
             value = behavior.report_value(satisfied)
-        report = FeedbackReport(
+        return FeedbackReport(
             reporter=reporter.peer_id,
             subject=subject.peer_id,
             value=value,
             quality=opinion.quality,
             time=time,
         )
-        self.store.submit_report(report)
 
     def _notify_lending(self, peer_id: PeerId, time: float) -> None:
         """Count the transaction towards an outstanding audit, if any."""

@@ -152,26 +152,32 @@ class ScaleFreeTopology(TopologyModel):
     # ------------------------------------------------------------------ #
     def _attach(self, peer_id: PeerId) -> None:
         """Attach a new member to up to ``attachment`` existing members."""
-        existing = [m for m in self._members if m != peer_id]
-        if not existing:
+        # ``add_member`` appended ``peer_id`` immediately before this call,
+        # so the number of *other* members is len - 1 — no need to build the
+        # filtered list (O(members) per join) just to count it.
+        members = self._members
+        if len(members) <= 1:
             # First member: give it a self-weight so it can be sampled.
             self._degrees[peer_id] = 1
             self._endpoint_pool.append(peer_id)
             return
         rng = self._attach_rng
         targets: set[PeerId] = set()
-        wanted = min(self.attachment, len(existing))
+        wanted = min(self.attachment, len(members) - 1)
         attempts = 0
         while len(targets) < wanted and attempts < 32 * wanted:
             attempts += 1
             target = self._preferential_target(rng, exclude=peer_id)
             if target is not None and target != peer_id:
                 targets.add(target)
-        # Guarantee connectivity even if preferential draws kept colliding.
-        for fallback in existing:
-            if len(targets) >= wanted:
-                break
-            targets.add(fallback)
+        if len(targets) < wanted:
+            # Guarantee connectivity even if preferential draws kept colliding.
+            for fallback in members:
+                if fallback == peer_id:
+                    continue
+                targets.add(fallback)
+                if len(targets) >= wanted:
+                    break
         for target in targets:
             self._add_edge(peer_id, target)
 

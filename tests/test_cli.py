@@ -90,6 +90,18 @@ class TestRunSubcommand:
         assert document["request"]["scenario"] == "tiny_test"
         assert len(document["summaries"]) == 1
 
+    def test_json_output_carries_throughput_keys(self, capsys):
+        """`run --json` surfaces tx_per_sec and elapsed_seconds."""
+        exit_code, out, _ = run_cli(capsys, [*self.ARGS, "--json"])
+        assert exit_code == 0
+        document = json.loads(out)
+        assert document["elapsed_seconds"] > 0
+        assert document["tx_per_sec"] > 0
+        expected = sum(
+            summary["transactions_attempted"] for summary in document["summaries"]
+        ) / sum(summary["elapsed_seconds"] for summary in document["summaries"])
+        assert document["tx_per_sec"] == pytest.approx(expected, rel=1e-3)
+
     def test_set_overrides_and_jobs(self, capsys):
         exit_code, out, _ = run_cli(
             capsys,
