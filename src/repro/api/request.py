@@ -108,6 +108,15 @@ class RunRequest:
         parameters (and master seed) from the recorded trace, with ``scheme``
         / ``adversary`` / ``overrides`` / ``scale`` applied on top for A/B
         replays, so ``scenario`` must be ``None``.
+    shards:
+        Number of ring arcs the sharded engine partitions each run into
+        (``1`` = plain serial engine).  An *execution* knob like the
+        service's job count: results are bit-identical for every value, so
+        it is excluded from :meth:`fingerprint` and sharded runs bypass the
+        run cache.
+    epoch_length:
+        Sharded engine's epoch window in transaction steps (``None`` uses
+        the engine default); only meaningful with ``shards > 1``.
     """
 
     scenario: str | None = None
@@ -119,6 +128,8 @@ class RunRequest:
     repeats: int = 1
     label: str = ""
     trace: TraceSpec | None = None
+    shards: int = 1
+    epoch_length: int | None = None
 
     def __post_init__(self) -> None:
         if self.scenario is not None:
@@ -134,6 +145,13 @@ class RunRequest:
         if self.repeats < 1:
             raise ConfigurationError("repeats must be >= 1")
         object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "shards", int(self.shards))
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if self.epoch_length is not None:
+            object.__setattr__(self, "epoch_length", int(self.epoch_length))
+            if self.epoch_length < 1:
+                raise ConfigurationError("epoch_length must be >= 1")
         object.__setattr__(self, "trace", TraceSpec.parse(self.trace))
         self._validate_trace()
         # Fail fast: override *values* must produce valid parameters too.
@@ -273,6 +291,8 @@ class RunRequest:
                 trace_path=None if trace is None else trace.path,
                 trace_record_to=None if trace is None else trace.record_to,
                 trace_digest_every=1 if trace is None else trace.digest_every,
+                shards=self.shards,
+                epoch_length=self.epoch_length,
             )
             for repeat, seed in enumerate(self.seeds())
         ]
@@ -284,6 +304,10 @@ class RunRequest:
         insensitive to how the request was spelled (override ordering, scheme
         aliases, scenario-vs-explicit parameters) and stable across processes
         — the natural cache key for request-level memoisation.
+
+        ``shards``/``epoch_length`` are deliberately absent: they change how
+        a run executes, never what it computes (bit-identity is pinned by
+        the golden-digest tests), exactly like the service's job count.
         """
         document = {"params": self.resolve().to_dict(), "seeds": list(self.seeds())}
         if self.trace is not None:
@@ -314,6 +338,8 @@ class RunRequest:
             "repeats": self.repeats,
             "label": self.label,
             "trace": self.trace.to_dict() if self.trace is not None else None,
+            "shards": self.shards,
+            "epoch_length": self.epoch_length,
         }
 
     def to_json(self, indent: int = 2) -> str:

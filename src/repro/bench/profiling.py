@@ -30,18 +30,22 @@ __all__ = [
     "write_profile_report",
 ]
 
-#: Subsystem buckets, matched against the path of each profiled function.
-#: Order matters only for display; matching is by path substring
-#: ``/repro/<name>/`` (the package layout is the ground truth).
+#: Subsystem buckets, matched against the path of each profiled function by
+#: the substring ``/repro/<name>/`` (the package layout is the ground
+#: truth).  Match order matters for nested packages: ``sim/sharded`` must
+#: precede ``sim`` or the sharded engine's frames would be lumped into the
+#: core engine bucket and the per-layer shares would lie.
 SUBSYSTEMS: tuple[str, ...] = (
     "overlay",
     "rocq",
     "reputation",
+    "sim/sharded",
     "sim",
     "metrics",
     "peers",
     "topology",
     "core",
+    "parallel",
 )
 
 #: The profiled workload: growth_stress, the arrival-heavy operating point
@@ -49,10 +53,19 @@ SUBSYSTEMS: tuple[str, ...] = (
 _PAPER_HORIZON = 500_000
 
 
-def _subsystem_of(filename: str) -> str:
-    """Map a profiled function's source path to a subsystem bucket."""
+def _subsystem_of(filename: str, funcname: str = "") -> str:
+    """Map a profiled function's source path (and name) to a subsystem bucket.
+
+    numpy frames get their own bucket: the struct-of-arrays columns route
+    batch phases through vectorised kernels, and attributing those to
+    ``stdlib/other`` (Python-level numpy wrappers) or hiding them among
+    built-ins (the C ufuncs, whose "filename" is ``~``) would understate
+    exactly the layer the SoA migration moved work into.
+    """
     normalised = filename.replace("\\", "/")
     if "/repro/" not in normalised:
+        if "/numpy/" in normalised or "numpy" in funcname:
+            return "numpy"
         return "stdlib/other"
     for name in SUBSYSTEMS:
         if f"/repro/{name}/" in normalised:
@@ -109,15 +122,14 @@ def profile_workload(
         _callers,
     ) in stats.stats.items():  # type: ignore[attr-defined]
         total_internal += tottime
-        bucket = subsystems.setdefault(
-            _subsystem_of(filename), {"tottime": 0.0, "calls": 0}
-        )
+        subsystem = _subsystem_of(filename, name)
+        bucket = subsystems.setdefault(subsystem, {"tottime": 0.0, "calls": 0})
         bucket["tottime"] += tottime
         bucket["calls"] += total_calls
         functions.append(
             {
                 "function": f"{Path(filename).name}:{lineno}({name})",
-                "subsystem": _subsystem_of(filename),
+                "subsystem": subsystem,
                 "calls": total_calls,
                 "tottime": round(tottime, 6),
                 "cumtime": round(cumtime, 6),

@@ -91,6 +91,26 @@ def _add_executor_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sharding_options(parser: argparse.ArgumentParser) -> None:
+    """The sharded-engine execution knobs (bit-identical to serial runs)."""
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "partition the ring into this many arcs and run each epoch "
+            "through the sharded engine (1 = plain serial engine; results "
+            "are bit-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--epoch-length",
+        type=_positive_int,
+        default=None,
+        help="sharded engine's epoch window in transaction steps",
+    )
+
+
 def _nonnegative_int(text: str) -> int:
     value = int(text)
     if value < 0:
@@ -235,6 +255,8 @@ def _build_request(
         repeats=getattr(args, "repeats", 1),
         label=getattr(args, "label", ""),
         trace=trace,
+        shards=getattr(args, "shards", 1),
+        epoch_length=getattr(args, "epoch_length", None),
     )
 
 
@@ -262,7 +284,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"scheme={params.reputation_scheme}, "
         f"adversary={params.adversary.name if params.adversary else 'none'}, "
         f"backend={backend}"
+        + (f", shards={request.shards}" if request.shards > 1 else "")
     )
+    if request.shards > 1 and result.summaries:
+        sharding = result.summaries[0].sharding or {}
+        print(
+            f"sharding: {sharding.get('epochs', 0)} epoch(s), "
+            f"{sharding.get('barriers', 0)} barrier(s), "
+            f"{sharding.get('cross_arc_messages', 0)} cross-arc message(s)"
+        )
     metrics = [
         ("decision success rate", lambda s: s.success_rate),
         ("cooperative arrivals", lambda s: float(s.arrivals_cooperative)),
@@ -687,6 +717,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-run progress on stderr"
     )
     _add_executor_options(run_parser)
+    _add_sharding_options(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
     trace_parser = subparsers.add_parser(
@@ -767,6 +798,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-run progress on stderr"
     )
     _add_executor_options(replay_parser)
+    _add_sharding_options(replay_parser)
     replay_parser.set_defaults(handler=_cmd_trace_replay)
 
     diff_parser = trace_subparsers.add_parser(

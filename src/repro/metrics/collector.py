@@ -124,22 +124,37 @@ class MetricsCollector:
     # Sampling                                                              #
     # ------------------------------------------------------------------ #
     def sample(self, time: float, population: Population, store: ReputationBackend) -> None:
-        """Take one periodic snapshot of reputations and peer counts."""
-        coop_sum = 0.0
-        uncoop_sum = 0.0
-        coop_count = 0
-        uncoop_count = 0
-        reputation_of = store.global_reputation
-        for peer in population.active_peers():
-            reputation = reputation_of(peer.peer_id)
-            if peer.is_cooperative:
-                coop_sum += reputation
-                coop_count += 1
+        """Take one periodic snapshot of reputations and peer counts.
+
+        The sample reads the reputation of *every* active peer, so this is a
+        batch phase: reputations are gathered through the backend's bulk hook
+        when it has one (the ROCQ store serves most of them straight from its
+        memo cache) and the cooperative partition comes from the population's
+        ground-truth column.  Each partition's sum accumulates left-to-right
+        in active order — the exact additions of the historical per-peer
+        loop — so the averages stay bit-identical.
+        """
+        active_ids = population.active_ids
+        flags = population.active_cooperative_flags()
+        bulk = getattr(store, "reputations_for", None)
+        if bulk is not None:
+            values = bulk(active_ids)
+        else:
+            reputation_of = store.global_reputation
+            values = [reputation_of(peer_id) for peer_id in active_ids]
+        coop_values: list[float] = []
+        uncoop_values: list[float] = []
+        coop_append = coop_values.append
+        uncoop_append = uncoop_values.append
+        for value, flag in zip(values, flags):
+            if flag:
+                coop_append(value)
             else:
-                uncoop_sum += reputation
-                uncoop_count += 1
-        coop_avg = coop_sum / coop_count if coop_count else float("nan")
-        uncoop_avg = uncoop_sum / uncoop_count if uncoop_count else float("nan")
+                uncoop_append(value)
+        coop_count = len(coop_values)
+        uncoop_count = len(uncoop_values)
+        coop_avg = sum(coop_values) / coop_count if coop_count else float("nan")
+        uncoop_avg = sum(uncoop_values) / uncoop_count if uncoop_count else float("nan")
         self.cooperative_reputation.append(time, coop_avg)
         self.uncooperative_reputation.append(time, uncoop_avg)
         self.cooperative_count.append(time, float(coop_count))

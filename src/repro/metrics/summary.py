@@ -25,6 +25,10 @@ def summary_digest(summary: "RunSummary") -> str:
     """
     document = summary.to_dict()
     document.pop("elapsed_seconds", None)
+    # Sharding telemetry is execution metadata, like wall-clock time: the
+    # sharded engine is bit-identical to the serial one, and the digest is
+    # exactly how that identity is asserted.
+    document.pop("sharding", None)
     text = json.dumps(document, sort_keys=True)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
@@ -71,6 +75,10 @@ class RunSummary:
     uncooperative_count: TimeSeries = field(default_factory=TimeSeries)
     # Wall-clock duration of the run in seconds (informational).
     elapsed_seconds: float = 0.0
+    #: Sharded-engine telemetry (shards, epochs, barrier/exchange counts) —
+    #: set by :class:`repro.sim.sharded.ShardedSimulation`, ``None`` on
+    #: serial runs.  Execution metadata, excluded from :func:`summary_digest`.
+    sharding: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------ #
     # Derived quantities                                                    #
@@ -150,7 +158,7 @@ class RunSummary:
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable representation (used by analysis.storage)."""
-        return {
+        document: dict[str, Any] = {
             "params": self.params.to_dict(),
             "seed": self.seed,
             "final_cooperative": self.final_cooperative,
@@ -184,6 +192,9 @@ class RunSummary:
             "uncooperative_count": self.uncooperative_count.to_dict(),
             "elapsed_seconds": self.elapsed_seconds,
         }
+        if self.sharding is not None:
+            document["sharding"] = dict(self.sharding)
+        return document
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "RunSummary":
@@ -230,4 +241,5 @@ class RunSummary:
             cooperative_count=TimeSeries.from_dict(data["cooperative_count"]),
             uncooperative_count=TimeSeries.from_dict(data["uncooperative_count"]),
             elapsed_seconds=float(data["elapsed_seconds"]),
+            sharding=data.get("sharding"),
         )

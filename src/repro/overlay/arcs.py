@@ -1,0 +1,68 @@
+"""Arc partition of the Chord identifier circle.
+
+The sharded simulation engine (:mod:`repro.sim.sharded`) splits the 160-bit
+ring into ``shards`` contiguous, equal-width arcs and runs each arc's event
+stream on its own worker.  Arc membership of a key is pure integer
+arithmetic — ``(key * shards) >> KEY_SPACE_BITS`` — so routing an event to
+its shard costs one multiply and one shift, needs no ring lookups, and every
+worker process computes the identical partition without coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ids import KEY_SPACE_BITS, KEY_SPACE_SIZE, PeerId, peer_key, replica_key
+
+__all__ = ["ArcPartition"]
+
+
+@dataclass(frozen=True)
+class ArcPartition:
+    """``shards`` contiguous arcs covering the ``[0, 2**160)`` key circle.
+
+    Arc ``a`` covers exactly the keys with ``(key * shards) >> 160 == a``:
+    a half-open interval of the circle, within one key of ``2**160/shards``
+    wide.  Instances are frozen and hashable, so they can ride inside
+    picklable worker payloads.
+    """
+
+    shards: int
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+
+    def arc_of_key(self, key: int) -> int:
+        """The arc index owning ``key`` (canonicalised onto the circle)."""
+        if key >= KEY_SPACE_SIZE or key < 0:
+            key %= KEY_SPACE_SIZE
+        return (key * self.shards) >> KEY_SPACE_BITS
+
+    def arc_of_peer(self, peer_id: PeerId) -> int:
+        """The arc owning ``peer_id``'s own overlay node."""
+        return self.arc_of_key(peer_key(peer_id))
+
+    def manager_arcs(self, peer_id: PeerId, num_score_managers: int) -> set[int]:
+        """Arcs holding any of ``peer_id``'s score-manager replica keys.
+
+        Replica keys are pure hashes of ``(peer_id, index)``, so this needs
+        no ring state — which is what lets shard workers compute cross-arc
+        message destinations for membership events without sharing the ring.
+        """
+        return {
+            self.arc_of_key(replica_key(peer_id, index))
+            for index in range(num_score_managers)
+        }
+
+    def bounds(self, arc: int) -> tuple[int, int]:
+        """The half-open key interval ``[lo, hi)`` covered by ``arc``."""
+        if not 0 <= arc < self.shards:
+            raise ValueError(f"arc must be in [0, {self.shards}), got {arc}")
+        lo = -(-arc * KEY_SPACE_SIZE // self.shards) if arc else 0
+        hi = (
+            -(-(arc + 1) * KEY_SPACE_SIZE // self.shards)
+            if arc + 1 < self.shards
+            else KEY_SPACE_SIZE
+        )
+        return lo, hi

@@ -15,6 +15,7 @@ tracks how responsibility moves when the ring changes.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -80,17 +81,23 @@ class ScoreManagerAssignment:
 
     def assignment_details(
         self, peer_id: PeerId
-    ) -> tuple[list[PeerId], tuple[int, ...], tuple[tuple[int, int], ...] | None]:
+    ) -> tuple[list[PeerId], tuple[int, ...], tuple[tuple[int, int, int], ...] | None]:
         """Managers, dependency keys and the clockwise arcs they were picked from.
 
-        The third element holds one ``(replica_key, last_candidate_key)``
-        pair per replica: the candidate list of that replica changes under a
-        **join** exactly when the new node's key lands inside the clockwise
-        interval ``(replica_key, last_candidate_key]``.  The reputation
-        store uses these windows to skip revalidating cached subjects whose
-        arcs a join did not touch.  ``None`` when the ring was too small to
-        produce a full candidate list (then every join can alter the
-        assignment and callers must always revalidate).
+        The third element holds one ``(replica_key, first_candidate_key,
+        last_candidate_key)`` triple per replica: the candidate list of that
+        replica changes under a **join** exactly when the new node's key
+        lands inside the clockwise interval ``(replica_key,
+        last_candidate_key]``.  The first-candidate key splits that window
+        in two — a join landing in ``(replica_key, first_candidate_key]``
+        displaces the *first* candidate (so the chosen manager can change),
+        while one landing in ``(first_candidate_key, last_candidate_key]``
+        only displaces the second.  The reputation store uses the windows
+        both to skip revalidating cached subjects whose arcs a join did not
+        touch and to patch second-candidate-only changes in place.  ``None``
+        when the ring was too small to produce a full candidate list (then
+        every join can alter the assignment and callers must always
+        revalidate).
         """
         ring = self.ring
         if len(ring) == 0:
@@ -99,34 +106,43 @@ class ScoreManagerAssignment:
         seen: set[PeerId] = set()
         dependency_keys: list[int] = []
         dependency_seen: set[int] = set()
-        windows: list[tuple[int, int]] = []
+        windows: list[tuple[int, int, int]] = []
         windows_valid = True
         if self.exclude_self:
             # At most one candidate (the subject itself) can be skipped, so
             # two successors per replica key are always enough to pick a
-            # manager.  The loop is unrolled over the pair: this resolution
-            # runs once per cached subject per membership change on
-            # churn-heavy workloads, so per-replica list allocations matter.
-            skip_self = len(ring) > 1
-            successor_pair = ring.successor_pair
+            # manager.  ``ring.successor_pair`` is inlined over the ring's
+            # sorted key list: this resolution runs once per cached subject
+            # per membership change on churn-heavy workloads, and the
+            # per-replica call overhead was the single largest cost left in
+            # it.  Replica keys are SHA-1-derived and always canonical, so
+            # no modulo is needed before the bisect.
+            sorted_keys = ring._sorted_keys
+            nodes_by_key = ring._nodes_by_key
+            total = len(sorted_keys)
+            skip_self = total > 1
             for key in self.replica_keys_for(peer_id):
-                first, second = successor_pair(key)
-                first_key = first.key
+                index = bisect_left(sorted_keys, key)
+                if index == total:
+                    index = 0
+                first_key = sorted_keys[index]
+                first = nodes_by_key[first_key]
                 if first_key not in dependency_seen:
                     dependency_keys.append(first_key)
                     dependency_seen.add(first_key)
-                if second is None:
+                if total == 1:
                     # Single-node ring: no full candidate list, no window.
                     windows_valid = False
                     chosen = first.peer_id
                 else:
-                    second_key = second.key
+                    index += 1
+                    second_key = sorted_keys[index if index < total else 0]
                     if second_key not in dependency_seen:
                         dependency_keys.append(second_key)
                         dependency_seen.add(second_key)
-                    windows.append((key, second_key))
+                    windows.append((key, first_key, second_key))
                     if skip_self and first.peer_id == peer_id:
-                        chosen = second.peer_id
+                        chosen = nodes_by_key[second_key].peer_id
                     else:
                         chosen = first.peer_id
                 if chosen not in seen:
@@ -140,7 +156,9 @@ class ScoreManagerAssignment:
                 if node_key not in dependency_seen:
                     dependency_keys.append(node_key)
                     dependency_seen.add(node_key)
-                windows.append((key, node_key))
+                # Sole candidate: first and last coincide, so the store's
+                # second-candidate patch path can never trigger for it.
+                windows.append((key, node_key, node_key))
                 chosen = node.peer_id
                 if chosen not in seen:
                     managers.append(chosen)

@@ -26,6 +26,11 @@ from .hashing import in_interval
 from .membership import MembershipChange, MembershipKind
 from .node import OverlayNode
 
+#: Size of the identifier circle, hoisted: computing ``1 << 160`` and taking
+#: a 160-bit modulo on every lookup is measurable on the assignment hot path,
+#: and keys produced by ``hash_to_key``/``replica_key`` are already in range.
+_KEY_SPACE = 1 << KEY_SPACE_BITS
+
 __all__ = ["ChordRing"]
 
 
@@ -140,7 +145,9 @@ class ChordRing:
         """Return the node responsible for ``key`` (its clockwise successor)."""
         if not self._sorted_keys:
             raise UnknownPeerError(-1)
-        index = bisect_left(self._sorted_keys, key % (1 << KEY_SPACE_BITS))
+        if key >= _KEY_SPACE or key < 0:
+            key %= _KEY_SPACE
+        index = bisect_left(self._sorted_keys, key)
         if index == len(self._sorted_keys):
             index = 0
         return self._nodes_by_key[self._sorted_keys[index]]
@@ -153,7 +160,9 @@ class ChordRing:
             return []
         if count > total:
             count = total
-        start = bisect_left(keys, key % (1 << KEY_SPACE_BITS))
+        if key >= _KEY_SPACE or key < 0:
+            key %= _KEY_SPACE
+        start = bisect_left(keys, key)
         if start == total:
             start = 0
         nodes = self._nodes_by_key
@@ -176,7 +185,9 @@ class ChordRing:
         total = len(keys)
         if not total:
             return None, None
-        index = bisect_left(keys, key % (1 << KEY_SPACE_BITS))
+        if key >= _KEY_SPACE or key < 0:
+            key %= _KEY_SPACE
+        index = bisect_left(keys, key)
         if index == total:
             index = 0
         nodes = self._nodes_by_key

@@ -1,0 +1,179 @@
+"""Struct-of-arrays storage for per-peer scalar state.
+
+:class:`PeerColumns` mirrors the scalar fields of every :class:`~repro.peers.peer.Peer`
+— ground-truth cooperativeness, founder flag, membership status, arrival and
+admission times, introducer — into dense numpy columns indexed by peer id
+(peer ids are allocated consecutively by
+:class:`~repro.ids.PeerIdAllocator`, so the id doubles as the row index).
+
+The :class:`Peer` objects remain the source of truth for the event-at-a-time
+code paths; the columns exist so *batch* phases — the periodic metrics
+sample over every active peer, population counts during arrival waves and
+churn storms, the sharded engine's epoch-barrier refresh — can gather
+thousands of per-peer scalars with one vectorised fancy-index instead of a
+Python loop over objects.  Mutators of :class:`~repro.peers.population.Population`
+keep the columns in sync; nothing else writes them.
+
+``legacy_rows_path()`` disables the columnar fast paths process-wide so the
+benchmark harness can measure the object-walking baseline on the same build
+(the same pattern ``legacy_membership_path`` established for ring rewiring).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..ids import PeerId
+
+__all__ = [
+    "PeerColumns",
+    "STATUS_CODES",
+    "columns_enabled",
+    "legacy_rows_path",
+]
+
+#: ``PeerStatus`` value -> int8 code stored in the ``status`` column.
+STATUS_CODES: dict[str, int] = {
+    "waiting": 0,
+    "active": 1,
+    "rejected": 2,
+    "departed": 3,
+}
+
+_ENABLED = True
+
+
+def columns_enabled() -> bool:
+    """Whether the columnar fast paths are active (see ``legacy_rows_path``)."""
+    return _ENABLED
+
+
+@contextmanager
+def legacy_rows_path() -> Iterator[None]:
+    """Temporarily route population queries through the per-object loops.
+
+    Used by ``repro.bench`` to measure the SoA speedup on one build; the
+    columns keep being maintained while disabled, so re-enabling is safe.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+class PeerColumns:
+    """Growable numpy columns holding one row of scalars per peer id."""
+
+    __slots__ = (
+        "size",
+        "_capacity",
+        "cooperative",
+        "founder",
+        "status",
+        "arrived_at",
+        "admitted_at",
+        "introduced_by",
+    )
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            capacity = 1
+        self.size = 0
+        self._capacity = capacity
+        self.cooperative = np.zeros(capacity, dtype=np.bool_)
+        self.founder = np.zeros(capacity, dtype=np.bool_)
+        self.status = np.zeros(capacity, dtype=np.int8)
+        self.arrived_at = np.zeros(capacity, dtype=np.float64)
+        #: ``nan`` encodes "not admitted yet" (the object field is ``None``).
+        self.admitted_at = np.full(capacity, np.nan, dtype=np.float64)
+        #: ``-1`` encodes "no introducer" (founders and direct admissions).
+        self.introduced_by = np.full(capacity, -1, dtype=np.int64)
+
+    def _grow(self, minimum: int) -> None:
+        capacity = self._capacity
+        while capacity < minimum:
+            capacity *= 2
+        for name in (
+            "cooperative",
+            "founder",
+            "status",
+            "arrived_at",
+            "admitted_at",
+            "introduced_by",
+        ):
+            old = getattr(self, name)
+            fresh = np.zeros(capacity, dtype=old.dtype)
+            if name == "admitted_at":
+                fresh.fill(np.nan)
+            elif name == "introduced_by":
+                fresh.fill(-1)
+            fresh[: self.size] = old[: self.size]
+            setattr(self, name, fresh)
+        self._capacity = capacity
+
+    # ------------------------------------------------------------------ #
+    # Row maintenance (driven by Population mutators)                      #
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        peer_id: PeerId,
+        *,
+        cooperative: bool,
+        founder: bool,
+        arrived_at: float,
+    ) -> None:
+        """Append the row for a freshly created peer (WAITING status)."""
+        if peer_id >= self._capacity:
+            self._grow(peer_id + 1)
+        self.cooperative[peer_id] = cooperative
+        self.founder[peer_id] = founder
+        self.status[peer_id] = STATUS_CODES["waiting"]
+        self.arrived_at[peer_id] = arrived_at
+        self.admitted_at[peer_id] = np.nan
+        self.introduced_by[peer_id] = -1
+        if peer_id >= self.size:
+            self.size = peer_id + 1
+
+    def mark_admitted(
+        self, peer_id: PeerId, time: float, introduced_by: PeerId | None
+    ) -> None:
+        self.status[peer_id] = STATUS_CODES["active"]
+        self.admitted_at[peer_id] = time
+        self.introduced_by[peer_id] = -1 if introduced_by is None else introduced_by
+
+    def mark_rejected(self, peer_id: PeerId) -> None:
+        self.status[peer_id] = STATUS_CODES["rejected"]
+
+    def mark_departed(self, peer_id: PeerId) -> None:
+        self.status[peer_id] = STATUS_CODES["departed"]
+
+    # ------------------------------------------------------------------ #
+    # Vectorised gathers                                                   #
+    # ------------------------------------------------------------------ #
+    def cooperative_flags(self, peer_ids: Sequence[PeerId]) -> list[bool]:
+        """Ground-truth flags for ``peer_ids``, aligned with the input order."""
+        if not peer_ids:
+            return []
+        index = np.asarray(peer_ids, dtype=np.int64)
+        return self.cooperative[index].tolist()
+
+    def count_cooperative(self, peer_ids: Sequence[PeerId]) -> int:
+        """How many of ``peer_ids`` are ground-truth cooperative."""
+        if not peer_ids:
+            return 0
+        index = np.asarray(peer_ids, dtype=np.int64)
+        return int(np.count_nonzero(self.cooperative[index]))
+
+    def status_counts(self) -> dict[str, int]:
+        """Population-wide histogram of the status column (telemetry)."""
+        view = self.status[: self.size]
+        return {
+            name: int(np.count_nonzero(view == code))
+            for name, code in STATUS_CODES.items()
+        }

@@ -66,11 +66,14 @@ class LocalOpinion:
         observed behaviour.  A single observation already carries moderate
         confidence (0.5 of the asymptote) so fresh reports are not ignored.
         """
-        if self.interactions == 0:
+        interactions = self.interactions
+        if interactions == 0:
             return 0.0
-        count_term = self.interactions / (self.interactions + 1.0)
+        count_term = interactions / (interactions + 1.0)
+        # Inlined ``variance`` (this property runs once per feedback report).
         # Variance of a Bernoulli variable is at most 0.25; normalise.
-        consistency_term = 1.0 - min(1.0, self.variance / 0.25)
+        variance = self.m2 / (interactions - 1) if interactions > 1 else 0.0
+        consistency_term = 1.0 - min(1.0, variance / 0.25)
         return count_term * (0.5 + 0.5 * consistency_term)
 
 
@@ -95,7 +98,12 @@ class OpinionBook:
     _opinions: dict[PeerId, LocalOpinion] = field(default_factory=dict)
 
     def record_interaction(self, subject: PeerId, satisfaction: float) -> LocalOpinion:
-        """Record the outcome of one transaction with ``subject``."""
+        """Record the outcome of one transaction with ``subject``.
+
+        The body of :meth:`LocalOpinion.record` is inlined (same arithmetic,
+        same order): this runs once per feedback report and the method call
+        was most of its cost on the transaction hot path.
+        """
         opinion = self._opinions.get(subject)
         if opinion is None:
             if _OPINION_POOL:
@@ -107,7 +115,21 @@ class OpinionBook:
             else:
                 opinion = LocalOpinion()
             self._opinions[subject] = opinion
-        opinion.record(satisfaction, self.smoothing)
+        if satisfaction > 1.0:
+            satisfaction = 1.0
+        elif satisfaction < 0.0:
+            satisfaction = 0.0
+        interactions = opinion.interactions
+        if interactions == 0:
+            opinion.value = satisfaction
+        else:
+            smoothing = self.smoothing
+            opinion.value = (1.0 - smoothing) * opinion.value + smoothing * satisfaction
+        interactions += 1
+        opinion.interactions = interactions
+        delta = satisfaction - opinion.mean
+        opinion.mean += delta / interactions
+        opinion.m2 += delta * (satisfaction - opinion.mean)
         return opinion
 
     def release(self) -> int:

@@ -45,10 +45,10 @@ from typing import Iterable
 
 from ..ids import PeerId
 from ..overlay.assignment import ScoreManagerAssignment
-from ..overlay.hashing import in_interval
 from ..overlay.membership import MembershipChange
+from .credibility import CredibilityRecord
 from .protocol import FeedbackReport, ReputationAdjustment
-from .score_manager import ScoreManager
+from .score_manager import ReputationRecord, ScoreManager
 
 __all__ = ["ReputationStore"]
 
@@ -82,10 +82,12 @@ class ReputationStore:
     _arc_dependencies: dict[PeerId, tuple[int, ...]] = field(
         default_factory=dict, repr=False
     )
-    #: Cached subject -> per-replica ``(replica_key, last_candidate_key)``
-    #: arcs (see :meth:`ScoreManagerAssignment.assignment_details`); a join
-    #: outside every arc provably leaves the assignment untouched.
-    _arc_windows: dict[PeerId, tuple[tuple[int, int], ...] | None] = field(
+    #: Cached subject -> per-replica ``(replica_key, first_candidate_key,
+    #: last_candidate_key)`` arcs (see
+    #: :meth:`ScoreManagerAssignment.assignment_details`); a join outside
+    #: every arc provably leaves the assignment untouched, and one inside
+    #: only the second half of an arc displaces just the backup candidate.
+    _arc_windows: dict[PeerId, tuple[tuple[int, int, int], ...] | None] = field(
         default_factory=dict, repr=False
     )
     #: Memoised combined reputation per subject.  Entries exist only for
@@ -93,11 +95,28 @@ class ReputationStore:
     #: change the manager set also drops the combined value) and are popped
     #: by every write that can move the underlying replica values.
     _reputation_cache: dict[PeerId, float] = field(default_factory=dict, repr=False)
+    #: Subjects evicted from the assignment cache by a membership change and
+    #: not yet revalidated.  Revalidation is *lazy*: the resolve against the
+    #: updated ring happens on the subject's next query (``managers_for``),
+    #: so a burst of churn pays one resolve per subject actually touched
+    #: afterwards instead of one per (change, dependent subject) pair.
+    _stale: set[PeerId] = field(default_factory=set, repr=False)
+    #: Per-manager hot views used by the fused report loop:
+    #: ``manager_id -> (records, credibility_records, initial_cred, gain)``.
+    #: The dicts are the manager's own (shared, never copied); entries are
+    #: dropped with the manager.
+    _manager_views: dict[
+        PeerId, tuple[dict, dict, float, float]
+    ] = field(default_factory=dict, repr=False)
     reports_delivered: int = 0
     adjustments_delivered: int = 0
     #: Cache-coherency telemetry (exposed for benchmarks and tests).
     full_invalidations: int = 0
     targeted_evictions: int = 0
+    #: Joins that displaced only a subject's *second* manager candidate: the
+    #: chosen managers (and the memoised combined reputation) stayed valid,
+    #: so the cache entry was patched in place instead of evicted.
+    targeted_patches: int = 0
 
     # ------------------------------------------------------------------ #
     # Manager plumbing                                                     #
@@ -117,10 +136,32 @@ class ReputationStore:
             self._managers[manager_id] = state
         return state
 
+    def _manager_view(self, manager_id: PeerId) -> tuple[dict, dict, float, float]:
+        """Build (and cache) the fused delivery loop's view of one manager."""
+        state = self._managers.get(manager_id)
+        if state is None:
+            state = self.manager_state(manager_id)
+        credibility_table = state.credibility
+        view = (
+            state._records,
+            credibility_table._records,
+            credibility_table.initial_credibility,
+            credibility_table.gain,
+        )
+        self._manager_views[manager_id] = view
+        return view
+
     def managers_for(self, subject: PeerId) -> list[PeerId]:
-        """Current score managers of ``subject`` (cached)."""
+        """Current score managers of ``subject`` (cached).
+
+        Subjects marked stale by :meth:`membership_changed` are revalidated
+        here, on first touch; the cache-hit fast path pays nothing for the
+        deferral because stale subjects are never *in* the cache.
+        """
         managers = self._assignment_cache.get(subject)
         if managers is None:
+            if self._stale and subject in self._stale:
+                return self._revalidate(subject)
             managers, dependency_keys, windows = self.assignment.assignment_details(
                 subject
             )
@@ -147,6 +188,7 @@ class ReputationStore:
         self._arc_dependencies.clear()
         self._arc_windows.clear()
         self._reputation_cache.clear()
+        self._stale.clear()
         self.full_invalidations += 1
 
     def membership_changed(self, change: MembershipChange | None) -> None:
@@ -157,13 +199,13 @@ class ReputationStore:
         change assignments that depended on the departed node; a **join** can
         only change assignments that depended on the new node's successor —
         the node whose arc the newcomer split.  Each affected subject is
-        *revalidated in place* against the updated ring: its assignment is
-        recomputed once (the cost a lazy eviction would pay on the next
-        query anyway), and when the manager list turns out unchanged — a
-        frequent outcome, since a join often lands behind the replica key
-        inside the split arc — the memoised combined reputation survives
-        untouched.  Everything else is untouched, so a membership change
-        costs O(affected subjects) instead of a full cache rebuild.
+        popped from the assignment cache and marked stale; the resolve
+        against the updated ring is deferred to the subject's next query
+        (:meth:`managers_for`), so churn bursts cost one resolve per subject
+        *touched afterwards* instead of one per (change, dependent) pair,
+        and subjects nobody asks about again are never resolved at all.
+        Everything else is untouched, so a membership change costs
+        O(affected subjects) set insertions.
         """
         if change is None:
             self.invalidate_assignments()
@@ -174,47 +216,175 @@ class ReputationStore:
         if not affected:
             return
         joined_key = change.node_key
-        resolve = self.assignment.assignment_details
-        for subject in list(affected):
+        joined_peer = change.peer_id
+        stale = self._stale
+        assignment_pop = self._assignment_cache.pop
+        reputation_pop = self._reputation_cache.pop
+        exclude_self = self.assignment.exclude_self
+        nodes_by_key = self.assignment.ring._nodes_by_key
+        evicted = 0
+        # Patches re-index ``_arc_dependents`` — including, possibly, the
+        # ``affected`` set being iterated — so they are collected first and
+        # applied after the scan.
+        deferred_patches: list[tuple[PeerId, tuple, list[int]]] = []
+        for subject in affected:
+            if subject in stale:
+                # Already awaiting revalidation; its windows predate an
+                # earlier change, so the join filter below would be
+                # meaningless — and unnecessary.
+                continue
             if not is_leave:
                 # A join only alters this subject's assignment if the new
                 # node's key falls inside one of its candidate arcs; a
                 # departed node, by contrast, *was* a candidate, so leaves
-                # always revalidate.
+                # always revalidate.  The interval tests are ``in_interval``
+                # inlined (window endpoints and node keys are canonical ring
+                # keys, so no modulo is needed): clockwise ``(start, end]``,
+                # wrapping when ``start >= end``, plus the ``== start`` edge
+                # folded into the first half.  A hit confined to the second
+                # half ``(first, last]`` of its windows displaces only backup
+                # candidates — the chosen managers and the memoised combined
+                # reputation stay valid, so the entry is patched in place.
                 windows = self._arc_windows.get(subject)
-                if windows is not None and not any(
-                    joined_key == start or in_interval(joined_key, start, end)
-                    for start, end in windows
-                ):
-                    continue
-            managers, dependency_keys, windows = resolve(subject)
-            if not dependency_keys:
-                # Ring emptied under us — nothing to keep coherent.
-                self._evict_subject(subject)
-                continue
-            if managers != self._assignment_cache.get(subject):
-                self._assignment_cache[subject] = managers
-                self._reputation_cache.pop(subject, None)
-                self.targeted_evictions += 1
-            self._arc_windows[subject] = windows
-            old_deps = self._arc_dependencies.get(subject, ())
-            if dependency_keys != old_deps:
-                # A single membership change shifts at most a couple of the
-                # subject's candidate nodes; only re-index the difference.
-                old_set = set(old_deps)
-                new_set = set(dependency_keys)
-                for key in old_set - new_set:
-                    dependents = self._arc_dependents.get(key)
-                    if dependents is not None:
-                        dependents.discard(subject)
-                        if not dependents:
-                            del self._arc_dependents[key]
-                self._arc_dependencies[subject] = dependency_keys
-                for key in new_set - old_set:
-                    self._arc_dependents.setdefault(key, set()).add(subject)
+                if windows is not None:
+                    evict = joined_peer == subject
+                    patches: list[int] | None = None
+                    if not evict:
+                        for index, (start, first, end) in enumerate(windows):
+                            if start < end:
+                                hit = start <= joined_key <= end
+                            elif start > end:
+                                hit = joined_key >= start or joined_key <= end
+                            else:
+                                hit = True  # degenerate: spans the whole ring
+                            if not hit:
+                                continue
+                            if start < first:
+                                in_first = start <= joined_key <= first
+                            elif start > first:
+                                in_first = joined_key >= start or joined_key <= first
+                            else:
+                                in_first = True
+                            if in_first or (
+                                exclude_self
+                                and nodes_by_key[first].peer_id == subject
+                            ):
+                                # The first candidate moved — or the first is
+                                # the self-excluded subject, so the *chosen*
+                                # manager was the second.  Either way the
+                                # manager set can change: full eviction.
+                                evict = True
+                                break
+                            if patches is None:
+                                patches = [index]
+                            else:
+                                patches.append(index)
+                    if not evict:
+                        if patches is not None:
+                            deferred_patches.append((subject, windows, patches))
+                        continue
+            if assignment_pop(subject, None) is not None:
+                reputation_pop(subject, None)
+                stale.add(subject)
+                evicted += 1
+        for subject, windows, patches in deferred_patches:
+            self._patch_windows(subject, windows, patches, joined_key)
+        self.targeted_evictions += evicted
+        self.targeted_patches += len(deferred_patches)
+
+    def _patch_windows(
+        self,
+        subject: PeerId,
+        windows: tuple[tuple[int, int, int], ...],
+        patches: list[int],
+        joined_key: int,
+    ) -> None:
+        """Apply a second-candidate-only join to a cached subject in place.
+
+        The chosen managers are untouched (the caller proved every window
+        hit lies in ``(first, last]``), so only the windows and the arc
+        dependency index move: the new node becomes the last candidate of
+        each patched window.  The result is exactly what a full
+        revalidation would cache — without the ring lookups, and without
+        dropping the memoised combined reputation.
+        """
+        new_windows = list(windows)
+        for index in patches:
+            start, first, _ = new_windows[index]
+            new_windows[index] = (start, first, joined_key)
+        self._arc_windows[subject] = tuple(new_windows)
+        # Rebuild the dependency keys in replica order (first then last per
+        # window, deduplicated) — the exact order assignment_details emits.
+        deps: list[int] = []
+        seen: set[int] = set()
+        for _, first, last in new_windows:
+            if first not in seen:
+                seen.add(first)
+                deps.append(first)
+            if last not in seen:
+                seen.add(last)
+                deps.append(last)
+        new_deps = tuple(deps)
+        old_deps = self._arc_dependencies.get(subject, ())
+        if new_deps == old_deps:
+            return
+        old_set = set(old_deps)
+        new_set = set(new_deps)
+        dependents_map = self._arc_dependents
+        for key in old_set - new_set:
+            dependents = dependents_map.get(key)
+            if dependents is not None:
+                dependents.discard(subject)
+                if not dependents:
+                    del dependents_map[key]
+        self._arc_dependencies[subject] = new_deps
+        for key in new_set - old_set:
+            dependents_map.setdefault(key, set()).add(subject)
+
+    def _revalidate(self, subject: PeerId) -> list[PeerId]:
+        """Resolve a stale subject against the current ring.
+
+        Runs once per stale subject, on its first query after any number of
+        membership changes, and lands on exactly the state the historical
+        eager per-change revalidation converged to: the assignment depends
+        only on the ring's *current* occupancy, and the memoised combined
+        reputation was already dropped when the subject went stale.
+        """
+        self._stale.discard(subject)
+        managers, dependency_keys, windows = self.assignment.assignment_details(subject)
+        old_deps = self._arc_dependencies.get(subject, ())
+        if not dependency_keys:
+            # Ring emptied under us — drop every index entry for the subject.
+            self._arc_windows.pop(subject, None)
+            self._arc_dependencies.pop(subject, None)
+            for key in old_deps:
+                dependents = self._arc_dependents.get(key)
+                if dependents is not None:
+                    dependents.discard(subject)
+                    if not dependents:
+                        del self._arc_dependents[key]
+            return managers
+        self._assignment_cache[subject] = managers
+        self._arc_windows[subject] = windows
+        if dependency_keys != old_deps:
+            # A membership change shifts at most a couple of the subject's
+            # candidate nodes; only re-index the difference.
+            old_set = set(old_deps)
+            new_set = set(dependency_keys)
+            for key in old_set - new_set:
+                dependents = self._arc_dependents.get(key)
+                if dependents is not None:
+                    dependents.discard(subject)
+                    if not dependents:
+                        del self._arc_dependents[key]
+            self._arc_dependencies[subject] = dependency_keys
+            for key in new_set - old_set:
+                self._arc_dependents.setdefault(key, set()).add(subject)
+        return managers
 
     def _evict_subject(self, subject: PeerId) -> None:
         """Drop one subject's cached assignment and its reverse-index entries."""
+        self._stale.discard(subject)
         if self._assignment_cache.pop(subject, None) is None:
             return
         self._reputation_cache.pop(subject, None)
@@ -247,9 +417,11 @@ class ReputationStore:
             state = managers_get(manager_id)
             if state is None:
                 continue
-            value = state.reputation_of(subject)
-            if value is not None:
-                values.append(value)
+            # Inlined ScoreManager.reputation_of — this gather runs once per
+            # memo miss per manager, and the method call dominated its cost.
+            record = state._records.get(subject)
+            if record is not None:
+                values.append(record.value)
         if not values:
             result = self.default_reputation
         elif self.combine == "median":
@@ -261,6 +433,23 @@ class ReputationStore:
         if subject in self._assignment_cache:
             self._reputation_cache[subject] = result
         return result
+
+    def reputations_for(self, subjects: Iterable[PeerId]) -> list[float]:
+        """Combined reputations of many subjects, aligned with the input.
+
+        The bulk form of :meth:`global_reputation` the metrics sampler (and
+        the sharded engine's epoch refresh) calls once per batch: between two
+        samples the overwhelming majority of subjects are untouched, so most
+        answers come straight out of the memo dict without a method call.
+        """
+        cache_get = self._reputation_cache.get
+        global_reputation = self.global_reputation
+        out: list[float] = []
+        append = out.append
+        for subject in subjects:
+            cached = cache_get(subject)
+            append(cached if cached is not None else global_reputation(subject))
+        return out
 
     def _stored_value(self, manager_id: PeerId, subject: PeerId) -> float | None:
         state = self._managers.get(manager_id)
@@ -307,33 +496,150 @@ class ReputationStore:
 
         Compared with calling :meth:`submit_report` per report, this skips
         the per-report combined-mean computation nobody reads (both partners
-        of a transaction report on each other fire-and-forget) and resolves
-        the store-level plumbing once.  Delivery order is preserved within
-        each manager, and distinct managers share no mutable state, so the
-        result is bit-identical to submitting the reports one at a time.
+        of a transaction report on each other fire-and-forget), resolves the
+        store-level plumbing once, and fuses the per-manager
+        :meth:`ScoreManager.receive_report` body into the delivery loop with
+        the shared configuration hoisted out (every manager is created with
+        the store's constants).  The arithmetic runs in exactly the order of
+        ``receive_report``, so the result is bit-identical to submitting the
+        reports one at a time.
+
+        Delivery also *pre-warms* the combined-reputation memo: after a
+        report reaches every manager of the subject, the per-manager values
+        collected along the way are — in the same order — exactly the list
+        :meth:`global_reputation` would rebuild on its next miss, so the
+        combine is computed here once (with the identical expression) and the
+        subsequent serve-probability query and metrics sample hit the memo.
         """
         count = 0
         reputation_pop = self._reputation_cache.pop
-        managers = self._managers
+        reputation_cache = self._reputation_cache
+        views = self._manager_views
+        assignment_get = self._assignment_cache.get
+        managers_for = self.managers_for
+        smoothing = self.opinion_smoothing
+        use_credibility = self.use_credibility
+        use_quality = self.use_quality
+        is_median = self.combine == "median"
         for report in reports:
             subject = report.subject
             reputation_pop(subject, None)
-            for manager_id in self.managers_for(subject):
-                state = managers.get(manager_id)
-                if state is None:
-                    state = self.manager_state(manager_id)
-                state.receive_report(report)
+            reporter = report.reporter
+            report_value = report.value
+            quality = report.quality
+            report_time = report.time
+            new_values: list[float] = []
+            managers = assignment_get(subject)
+            if managers is None:
+                managers = managers_for(subject)
+            for manager_id in managers:
+                view = views.get(manager_id)
+                if view is None:
+                    view = self._manager_view(manager_id)
+                records, cred_records, initial_cred, gain = view
+                record = records.get(subject)
+                if record is None:
+                    record = ReputationRecord()
+                    records[subject] = record
+                cred = cred_records.get(reporter)
+                weight = smoothing
+                if use_credibility:
+                    weight *= cred.value if cred is not None else initial_cred
+                if use_quality:
+                    weight *= quality if quality > 0.05 else 0.05
+                # Inlined ReputationRecord.apply_report(report_value, weight).
+                if weight > 1.0:
+                    weight = 1.0
+                elif weight < 0.0:
+                    weight = 0.0
+                if record.reports == 0 and record.adjustments == 0 and not record.seeded:
+                    # First evidence with no prior: adopt the reported value
+                    # outright (see apply_report for the rationale).
+                    value = report_value
+                else:
+                    value = (1.0 - weight) * record.value + weight * report_value
+                if value < 0.0:
+                    value = 0.0
+                elif value > 1.0:
+                    value = 1.0
+                record.value = value
+                record.reports += 1
+                record.last_update = report_time
+                # Credibility updates against the post-update aggregate
+                # (inlined CredibilityRecord.update).
+                if cred is None:
+                    cred = CredibilityRecord(value=initial_cred)
+                    cred_records[reporter] = cred
+                agreement = 1.0 - abs(report_value - value)
+                if agreement < 0.0:
+                    agreement = 0.0
+                elif agreement > 1.0:
+                    agreement = 1.0
+                cred.value = (1.0 - gain) * cred.value + gain * agreement
+                cred.reports += 1
+                new_values.append(value)
                 count += 1
+            if new_values:
+                # Same expression, same value order as global_reputation —
+                # the memoised result is bit-identical to a recompute.  (A
+                # non-empty manager list implies the assignment was cached
+                # by managers_for, which is the memo's invariant.)
+                if is_median:
+                    reputation_cache[subject] = float(statistics.median(new_values))
+                else:
+                    reputation_cache[subject] = float(
+                        sum(new_values) / len(new_values)
+                    )
         self.reports_delivered += count
 
     def apply_adjustment(self, adjustment: ReputationAdjustment) -> float:
-        """Deliver a direct adjustment to every manager; return mean applied."""
-        self._reputation_cache.pop(adjustment.subject, None)
+        """Deliver a direct adjustment to every manager; return mean applied.
+
+        Like the batched report path, delivery pre-warms the combined-
+        reputation memo: each manager's post-adjustment value is collected in
+        manager order and combined with the exact expression of
+        :meth:`global_reputation`, so the lending protocol's debit/credit
+        pairs do not force a full recompute on the subject's next query.
+        """
+        subject = adjustment.subject
+        self._reputation_cache.pop(subject, None)
         applied = []
-        for manager_id in self.managers_for(adjustment.subject):
-            state = self.manager_state(manager_id)
-            applied.append(state.receive_adjustment(adjustment))
-            self.adjustments_delivered += 1
+        values = []
+        managers = self._assignment_cache.get(subject)
+        if managers is None:
+            managers = self.managers_for(subject)
+        views = self._manager_views
+        delta = adjustment.delta
+        adjustment_time = adjustment.time
+        delivered = 0
+        for manager_id in managers:
+            view = views.get(manager_id)
+            if view is None:
+                view = self._manager_view(manager_id)
+            records = view[0]
+            record = records.get(subject)
+            if record is None:
+                record = ReputationRecord()
+                records[subject] = record
+            # Inlined ReputationRecord.apply_adjustment (identical order).
+            before = record.value
+            value = before + delta
+            if value < 0.0:
+                value = 0.0
+            elif value > 1.0:
+                value = 1.0
+            record.value = value
+            record.adjustments += 1
+            record.last_update = adjustment_time
+            applied.append(value - before)
+            values.append(value)
+            delivered += 1
+        self.adjustments_delivered += delivered
+        if values and subject in self._assignment_cache:
+            if self.combine == "median":
+                self._reputation_cache[subject] = float(statistics.median(values))
+            else:
+                self._reputation_cache[subject] = float(sum(values) / len(values))
         if not applied:
             return 0.0
         return float(sum(applied) / len(applied))
@@ -369,6 +675,7 @@ class ReputationStore:
 
     def drop_manager(self, manager_id: PeerId) -> None:
         state = self._managers.pop(manager_id, None)
+        self._manager_views.pop(manager_id, None)
         if state is not None:
             for subject in state.tracked_subjects():
                 self._reputation_cache.pop(subject, None)

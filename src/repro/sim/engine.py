@@ -202,14 +202,21 @@ class Simulation:
         The single main-loop body shared by :meth:`run` and :meth:`step`, so
         the two cannot drift apart.
         """
-        self.clock.advance_to(now)
+        clock = self.clock
+        if now >= clock.now:
+            # Inlined ``SimulationClock.advance_to`` (forward moves only —
+            # the monotonicity guard lives in the rare else branch).
+            clock.now = now
+        else:
+            clock.advance_to(now)
         events = self.events
         if not self._tracers:
             # Inline pop loop: most time steps have no due event, and the
             # generator `pop_due` would allocate a frame per step anyway.
+            # The outcome object is skipped outright — nothing reads it.
             while events.next_time() <= now:
                 self._handle_event(events.pop())
-            self.transactions.execute(now)
+            self.transactions.execute(now, build_outcome=False)
             return
         for event in self.events.pop_due(now):
             self._handle_event(event)

@@ -66,6 +66,17 @@ class EventQueue:
         while self._heap and self._heap[0].time <= time:
             yield self.pop()
 
+    def pending_due(self, time: float) -> list[Event]:
+        """Every pending event with time <= ``time``, in pop order, not removed.
+
+        A read-only snapshot for the sharded engine's plan phase: shard
+        workers classify and route these events while the queue itself stays
+        untouched, so the subsequent real pops see exactly the same stream.
+        """
+        due = [event for event in self._heap if event.time <= time]
+        due.sort(key=lambda event: (event.time, event.sequence))
+        return due
+
     def next_time(self) -> float:
         """Time of the earliest pending event (inf when empty)."""
         return self._heap[0].time if self._heap else float("inf")
@@ -152,6 +163,22 @@ class CalendarEventQueue:
             if not bucket or bucket[0].time > time:
                 return
             yield self.pop()
+
+    def pending_due(self, time: float) -> list[Event]:
+        """Every pending event with time <= ``time``, in pop order, not removed.
+
+        Same contract as :meth:`EventQueue.pending_due`; only buckets at or
+        below the horizon's bucket index can hold due events, so the scan
+        skips everything scheduled further out.
+        """
+        horizon_bucket = int(time // self.bucket_width)
+        due: list[Event] = []
+        for index, bucket in self._buckets.items():
+            if index > horizon_bucket:
+                continue
+            due.extend(event for event in bucket if event.time <= time)
+        due.sort(key=lambda event: (event.time, event.sequence))
+        return due
 
     def next_time(self) -> float:
         """Time of the earliest pending event (inf when empty)."""

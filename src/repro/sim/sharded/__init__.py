@@ -1,0 +1,25 @@
+"""Sharded simulation engine: contiguous ring arcs, epoch-barrier exchange.
+
+See :mod:`repro.sim.sharded.engine` for the execution model and the
+bit-identity argument, :mod:`repro.sim.sharded.plan` for the worker-side
+planning payloads, and :class:`repro.overlay.arcs.ArcPartition` for the key
+circle partition itself.
+"""
+
+from .engine import (
+    DEFAULT_EPOCH_LENGTH,
+    ShardedSimulation,
+    ShardingStats,
+    run_sharded_simulation,
+)
+from .plan import ShardPlan, merge_outbound, plan_epoch_shard
+
+__all__ = [
+    "DEFAULT_EPOCH_LENGTH",
+    "ShardedSimulation",
+    "ShardingStats",
+    "run_sharded_simulation",
+    "ShardPlan",
+    "plan_epoch_shard",
+    "merge_outbound",
+]

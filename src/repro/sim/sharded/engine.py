@@ -1,0 +1,232 @@
+"""Sharded simulation driver: arc-partitioned epochs, deterministic barriers.
+
+The driver wraps an ordinary :class:`~repro.sim.engine.Simulation` and runs
+it as a bulk-synchronous loop over fixed-length *epochs*:
+
+1. **Plan (fan-out)** — the events already scheduled inside the epoch window
+   are routed to the :class:`~repro.overlay.arcs.ArcPartition` arc owning
+   their subject peer's overlay key, and each arc's slice goes to its own
+   worker (any :mod:`repro.parallel.executor` backend).  Workers classify
+   their stream and emit the cross-arc manifest of every membership event.
+2. **Exchange barrier** — the per-arc manifests are merged into the canonical
+   ``(time, sequence)`` order, independent of worker completion order.
+3. **Commit barrier** — the coordinator executes the epoch's merged stream
+   serially, events interleaved with each step's transaction slot, in exactly
+   the serial engine's order.
+
+Because every state mutation is applied at the commit barrier in canonical
+order, the merged event order — and therefore every RNG draw and every
+digest — is **bit-identical to the serial engine** for any shard count,
+epoch length and executor backend.  What sharding buys is the fan-out of the
+read-only routing/classification phase; what it costs is the per-epoch
+snapshot and barrier overhead.  On a single core the plan phase is pure
+overhead, so ``--shards`` helps only when workers have real parallelism
+(process/thread backends on multi-core hosts) or when per-event routing work
+grows (large ``num_score_managers``, heavy churn).
+
+Events spawned *inside* an epoch (an arrival scheduling the next arrival, an
+admission response landing later in the window) are executed by the commit
+phase as usual; they simply were not visible to that epoch's plan and are
+picked up by a later epoch's snapshot if they fall beyond the window.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from ...config import SimulationParameters
+from ...errors import SimulationError
+from ...metrics.summary import RunSummary
+from ...overlay.arcs import ArcPartition
+from ...parallel.executor import create_executor
+from ..engine import Simulation
+from ..events import EventKind
+from .plan import PlannedEvent, merge_outbound, plan_epoch_shard
+
+__all__ = [
+    "DEFAULT_EPOCH_LENGTH",
+    "ShardingStats",
+    "ShardedSimulation",
+    "run_sharded_simulation",
+]
+
+#: Default epoch window, in simulated time units (= transaction steps).
+#: Golden-digest tests pin sharded output at this fixed length; any length
+#: produces identical digests, only the barrier cadence changes.
+DEFAULT_EPOCH_LENGTH = 64
+
+
+@dataclass
+class ShardingStats:
+    """Execution telemetry of one sharded run (not part of the result digest)."""
+
+    shards: int
+    epoch_length: int
+    backend: str
+    epochs: int = 0
+    #: Two barriers per epoch: the exchange merge and the commit.
+    barriers: int = 0
+    #: Events visible to the plan fan-out across all epochs.
+    planned_events: int = 0
+    #: Cross-arc messages merged at exchange barriers across all epochs.
+    cross_arc_messages: int = 0
+    #: Exchange size per epoch, in epoch order.
+    epoch_exchange: list[int] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "epoch_length": self.epoch_length,
+            "backend": self.backend,
+            "epochs": self.epochs,
+            "barriers": self.barriers,
+            "planned_events": self.planned_events,
+            "cross_arc_messages": self.cross_arc_messages,
+            "epoch_exchange": list(self.epoch_exchange),
+        }
+
+
+class ShardedSimulation:
+    """Drive a simulation through the sharded epoch loop.
+
+    Either build one from parameters (like :class:`Simulation`) or pass a
+    pre-built ``simulation`` — the trace replayer hands its replay-fed engine
+    in this way, so recorded traces replay bit-identically through the
+    sharded path too.
+    """
+
+    def __init__(
+        self,
+        params: SimulationParameters | None = None,
+        seed: int | None = None,
+        *,
+        shards: int = 2,
+        epoch_length: int | None = None,
+        backend: str | None = None,
+        jobs: int | None = None,
+        simulation: Simulation | None = None,
+    ) -> None:
+        if simulation is None:
+            if params is None:
+                raise SimulationError(
+                    "ShardedSimulation needs either params or a simulation"
+                )
+            simulation = Simulation(params, seed=seed)
+        self.sim = simulation
+        self.shards = int(shards)
+        if self.shards < 1:
+            raise SimulationError(f"shards must be >= 1, got {shards}")
+        self.partition = ArcPartition(self.shards)
+        self.epoch_length = int(
+            DEFAULT_EPOCH_LENGTH if epoch_length is None else epoch_length
+        )
+        if self.epoch_length < 1:
+            raise SimulationError(
+                f"epoch_length must be >= 1, got {epoch_length}"
+            )
+        # Plan fan-out executor.  ``backend=None, jobs=None`` resolves to the
+        # serial executor (inline planning) — the right default inside spec
+        # workers, where a nested pool would oversubscribe the host; pass
+        # ``backend="process"``/``"thread"`` to give arcs real workers.
+        self._backend = backend
+        self._jobs = self.shards if jobs is None else int(jobs)
+        if backend is None and jobs is None:
+            self._jobs = 1
+        self.stats = ShardingStats(
+            shards=self.shards,
+            epoch_length=self.epoch_length,
+            backend=backend or ("serial" if self._jobs <= 1 else "process"),
+        )
+        self._finished = False
+
+    # ------------------------------------------------------------------ #
+    # Main loop                                                            #
+    # ------------------------------------------------------------------ #
+    def run(self) -> RunSummary:
+        """Run to the horizon and return the summary (with sharding stats)."""
+        if self._finished or self.sim._finished:
+            raise SimulationError("this ShardedSimulation has already been run")
+        sim = self.sim
+        sim.setup()
+        started = _time.perf_counter()
+        executor = create_executor(self._backend, self._jobs)
+        try:
+            horizon = sim.params.num_transactions
+            first_step = 1
+            while first_step <= horizon:
+                last_step = min(horizon, first_step + self.epoch_length - 1)
+                self._run_epoch(executor, first_step, last_step)
+                first_step = last_step + 1
+        finally:
+            executor.close()
+        sim._finalize()
+        elapsed = _time.perf_counter() - started
+        self._finished = True
+        sim._finished = True
+        summary = sim._summary(elapsed)
+        summary.sharding = self.stats.to_dict()
+        return summary
+
+    def _run_epoch(self, executor, first_step: int, last_step: int) -> None:
+        """One epoch: plan fan-out, exchange barrier, commit barrier."""
+        sim = self.sim
+        # Snapshot the window's scheduled events and route each to the arc
+        # owning its subject's overlay key.  Subject-less events (arrivals,
+        # samples, adversary ticks) go to arc 0, the coordinator arc.
+        pending = sim.events.pending_due(float(last_step))
+        slices: list[list[PlannedEvent]] = [[] for _ in range(self.shards)]
+        arc_of_peer = self.partition.arc_of_peer
+        for event in pending:
+            kind = event.kind
+            if kind is EventKind.ADMISSION_RESPONSE:
+                subject = event.payload.applicant
+            elif kind is EventKind.DEPARTURE:
+                subject = event.payload
+            else:
+                subject = -1
+            arc = arc_of_peer(subject) if subject >= 0 else 0
+            slices[arc].append((event.time, event.sequence, kind.value, subject))
+        num_score_managers = sim.params.num_score_managers
+        plans = executor.map_calls(
+            plan_epoch_shard,
+            [
+                (shard, self.shards, num_score_managers, tuple(slices[shard]))
+                for shard in range(self.shards)
+            ],
+        )
+        # Exchange barrier: one deterministic merge of every arc's cross-arc
+        # messages (ordered by time, sequence — never by worker timing).
+        exchange = merge_outbound(plans)
+        # Commit barrier: the coordinator executes the epoch in canonical
+        # serial order — this is what makes sharded output bit-identical.
+        advance = sim._advance_to
+        for step in range(first_step, last_step + 1):
+            advance(float(step))
+        stats = self.stats
+        stats.epochs += 1
+        stats.barriers += 2
+        stats.planned_events += len(pending)
+        stats.cross_arc_messages += len(exchange)
+        stats.epoch_exchange.append(len(exchange))
+
+
+def run_sharded_simulation(
+    params: SimulationParameters,
+    seed: int | None = None,
+    *,
+    shards: int = 2,
+    epoch_length: int | None = None,
+    backend: str | None = None,
+    jobs: int | None = None,
+) -> RunSummary:
+    """Build and run a :class:`ShardedSimulation`; sharded sibling of
+    :func:`repro.sim.engine.run_simulation`."""
+    return ShardedSimulation(
+        params,
+        seed=seed,
+        shards=shards,
+        epoch_length=epoch_length,
+        backend=backend,
+        jobs=jobs,
+    ).run()

@@ -1,0 +1,104 @@
+"""Per-shard epoch planning and the deterministic barrier merge.
+
+Each epoch, the coordinator routes the already-scheduled events of the
+window to their arcs (by the subject peer's overlay key) and hands every
+arc's slice to a worker.  Workers classify their slice and compute its
+*cross-arc manifest*: for each membership event — an admission response or a
+departure — the destination arcs of the subject's score-manager replica
+keys, i.e. every arc whose reputation state the event will touch.  Replica
+keys are pure hashes, so workers need no ring state and the payloads stay
+tiny and picklable for the process backend.
+
+The merge at the epoch barrier orders all cross-arc messages by
+``(time, sequence, destination arc)`` — the same total order the serial
+engine dispatches the originating events in — so the merged exchange stream
+never depends on worker completion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ...ids import replica_key
+from ...overlay.arcs import ArcPartition
+
+__all__ = ["PlannedEvent", "ShardPlan", "plan_epoch_shard", "merge_outbound"]
+
+#: One event as shipped to a shard worker: ``(time, sequence, kind value,
+#: subject peer id)``.  The subject is ``-1`` for events with no subject peer
+#: (arrivals draw their peer only on execution; samples and adversary ticks
+#: are global), which the coordinator routes to arc 0.
+PlannedEvent = tuple[float, int, str, int]
+
+#: One cross-arc message: ``(time, sequence, destination arc)``.
+OutboundMessage = tuple[float, int, int]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """What one arc's worker learned about its slice of an epoch."""
+
+    #: The arc this plan covers.
+    shard: int
+    #: Total events routed to this arc in the window.
+    events: int
+    #: Arrivals in the slice (subject peer unknown until the factory draws it).
+    arrivals: int
+    #: Admission responses + departures — the events that move reputation
+    #: records between score managers.
+    membership_events: int
+    #: Cross-arc messages this arc's events will emit, each a
+    #: ``(time, sequence, destination arc)`` triple.
+    outbound: tuple[OutboundMessage, ...]
+
+
+def plan_epoch_shard(
+    shard: int,
+    shards: int,
+    num_score_managers: int,
+    events: Sequence[PlannedEvent],
+) -> ShardPlan:
+    """Classify one arc's event slice and build its cross-arc manifest.
+
+    Module-level (not a method) so the process backend can pickle a
+    reference to it for worker processes — the same constraint
+    :func:`repro.parallel.executor.execute_spec` lives under.
+    """
+    partition = ArcPartition(shards)
+    arc_of_key = partition.arc_of_key
+    arrivals = 0
+    membership = 0
+    outbound: list[OutboundMessage] = []
+    for time, sequence, kind, subject in events:
+        if subject < 0:
+            if kind == "arrival":
+                arrivals += 1
+            continue
+        membership += 1
+        for index in range(num_score_managers):
+            destination = arc_of_key(replica_key(subject, index))
+            if destination != shard:
+                outbound.append((time, sequence, destination))
+    return ShardPlan(
+        shard=shard,
+        events=len(events),
+        arrivals=arrivals,
+        membership_events=membership,
+        outbound=tuple(outbound),
+    )
+
+
+def merge_outbound(plans: Sequence[ShardPlan]) -> list[OutboundMessage]:
+    """Merge every shard's cross-arc messages into the canonical order.
+
+    The sort key ``(time, sequence, destination arc)`` reproduces the serial
+    engine's dispatch order of the originating events, extended with a fixed
+    tie-break over destinations — so two runs with different worker timing
+    (or different backends) always produce the identical exchange stream.
+    """
+    merged: list[OutboundMessage] = []
+    for plan in plans:
+        merged.extend(plan.outbound)
+    merged.sort()
+    return merged

@@ -69,40 +69,69 @@ class TransactionEngine:
         # store groups them by manager); older/third-party backends fall
         # back to sequential submission with identical results.
         self._submit_batch = getattr(self.store, "submit_report_batch", None)
+        # Bound methods and the peer map, hoisted once: `execute` runs once
+        # per simulated time unit, and these lookups dominated its own cost.
+        self._peers_by_id = self.population._peers
+        self._active_ids = self.population._active_ids
+        self._rng_integers = self.rng.integers
+        self._rng_random = self.rng.random
+        self._sample_respondent = self.topology.sample_respondent
+        self._global_reputation = self.store.global_reputation
+        # Serve decisions read one reputation per transaction; backends that
+        # memoise the combined value expose the memo dict and the common
+        # cache-hit case skips the whole method call.  ``None`` on a miss
+        # falls through to ``global_reputation``, which returns the same
+        # value (and warms the memo).
+        memo = getattr(self.store, "_reputation_cache", None)
+        self._reputation_memo_get = memo.get if memo is not None else None
+        self._record_decision = self.metrics.record_service_decision
+        self._note_transaction = self.lending.note_transaction
 
     # ------------------------------------------------------------------ #
     # Main entry point                                                      #
     # ------------------------------------------------------------------ #
-    def execute(self, time: float) -> TransactionOutcome | None:
+    def execute(
+        self, time: float, build_outcome: bool = True
+    ) -> TransactionOutcome | None:
         """Run the transaction scheduled for ``time``.
 
         Returns ``None`` when fewer than two members exist (nothing can
-        happen), otherwise a :class:`TransactionOutcome`.
+        happen), otherwise a :class:`TransactionOutcome`.  The engine's
+        untraced main loop passes ``build_outcome=False`` — every side
+        effect still happens, but the outcome object nobody would read is
+        not constructed.
         """
-        active_ids = self.population.active_ids
+        active_ids = self._active_ids
         if len(active_ids) < 2:
             return None
-        requester = self.population.get(
-            active_ids[int(self.rng.integers(len(active_ids)))]
-        )
-        respondent_id = self.topology.sample_respondent(self.rng, requester.peer_id)
+        requester_id = active_ids[int(self._rng_integers(len(active_ids)))]
+        requester = self._peers_by_id[requester_id]
+        respondent_id = self._sample_respondent(self.rng, requester_id)
         if respondent_id is None:
             return None
-        respondent = self.population.get(respondent_id)
+        respondent = self._peers_by_id[respondent_id]
 
         requester.requests_made += 1
-        served = self._decide_service(requester)
-        self.metrics.record_service_decision(
+        # Serve with probability equal to the requester's reputation
+        # (inlined _decide_service, with the memo-hit fast path).
+        memo_get = self._reputation_memo_get
+        reputation = memo_get(requester_id) if memo_get is not None else None
+        if reputation is None:
+            reputation = self._global_reputation(requester_id)
+        served = bool(self._rng_random() < reputation)
+        self._record_decision(
             requester_cooperative=requester.is_cooperative,
             respondent_cooperative=respondent.is_cooperative,
             served=served,
         )
         if not served:
             requester.requests_denied += 1
+            if not build_outcome:
+                return None
             return TransactionOutcome(
                 time=time,
-                requester=requester.peer_id,
-                respondent=respondent.peer_id,
+                requester=requester_id,
+                respondent=respondent_id,
                 served=False,
             )
 
@@ -116,12 +145,14 @@ class TransactionEngine:
         self._exchange_feedback(
             time, requester, respondent, requester_satisfied, respondent_satisfied
         )
-        self._notify_lending(requester.peer_id, time)
-        self._notify_lending(respondent.peer_id, time)
+        self._notify_lending(requester_id, time)
+        self._notify_lending(respondent_id, time)
+        if not build_outcome:
+            return None
         return TransactionOutcome(
             time=time,
-            requester=requester.peer_id,
-            respondent=respondent.peer_id,
+            requester=requester_id,
+            respondent=respondent_id,
             served=True,
             requester_satisfied=requester_satisfied,
             respondent_satisfied=respondent_satisfied,
@@ -193,6 +224,6 @@ class TransactionEngine:
 
     def _notify_lending(self, peer_id: PeerId, time: float) -> None:
         """Count the transaction towards an outstanding audit, if any."""
-        result = self.lending.note_transaction(peer_id, time)
+        result = self._note_transaction(peer_id, time)
         if result is not None:
             self.metrics.record_audit(result)

@@ -31,6 +31,7 @@ TINY = HotpathBenchConfig(
     lookup_ring_size=32,
     lookups=40,
     warmup=0,
+    samples=1,
 )
 
 #: The report contract: consumers (CI artifact diffing, the committed
@@ -47,6 +48,7 @@ EXPECTED_TOP_KEYS = {
     "config",
     "end_to_end",
     "quick_reference",
+    "sharding",
     "micro",
     "profile",
     "max_end_to_end_speedup",
@@ -74,6 +76,7 @@ EXPECTED_CONFIG_KEYS = {
     "lookup_ring_size",
     "lookups",
     "warmup",
+    "samples",
 }
 EXPECTED_END_TO_END_KEYS = {
     "workload",

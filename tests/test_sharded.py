@@ -1,0 +1,345 @@
+"""Tests for the sharded simulation engine (:mod:`repro.sim.sharded`).
+
+The contract under test is *bit-identity*: for any workload, any shard
+count and any executor backend, the sharded epoch loop must produce exactly
+the serial engine's summary digest.  Pinned here:
+
+* **Arc partition** — the contiguous arcs cover the key circle exactly
+  (no gaps, no overlap) and ``arc_of_key`` agrees with ``bounds``.
+* **Barrier merge** — the cross-arc exchange stream is a pure function of
+  the plans' contents, independent of worker completion order.
+* **Digest equality** — serial vs sharded at K ∈ {1, 2, 4} across the
+  serial/thread/process backends, over randomised workloads.
+* **Golden digests** — the sharded path reproduces the pre-optimisation
+  digests recorded in ``tests/data/preopt_digests.json``.
+* **Trace replay** — the pre-optimisation trace replays bit-identically
+  through the sharded path.
+* **CLI surface** — ``run --shards`` reports shard/epoch/barrier telemetry
+  in both text and ``--json`` modes without perturbing the digest.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.ids import KEY_SPACE_SIZE, peer_key, replica_key
+from repro.metrics.summary import RunSummary, summary_digest
+from repro.overlay.arcs import ArcPartition
+from repro.sim.engine import run_simulation
+from repro.sim.sharded import (
+    DEFAULT_EPOCH_LENGTH,
+    ShardPlan,
+    ShardedSimulation,
+    merge_outbound,
+    plan_epoch_shard,
+    run_sharded_simulation,
+)
+from repro.trace import TraceLog, replay_simulation
+from repro.workloads.scenarios import paper_default
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
+
+#: Digest of ``preopt_tiny.jsonl``'s recorded run (same pin as
+#: tests/test_perf_hotpath2.py) — the sharded path must reproduce it too.
+PREOPT_TRACE_DIGEST = (
+    "5a0b9ba8236e8ce849ce76e77043fa582b783b0a057f09c1f9287f5a0350ad9b"
+)
+
+
+def _tiny_params(seed: int = 1, arrival_rate: float = 0.2, scheme: str | None = None):
+    overrides: dict = {"arrival_rate": arrival_rate}
+    if scheme is not None:
+        overrides["reputation_scheme"] = scheme
+    return (
+        paper_default(seed=seed).scaled(400 / 500_000).with_overrides(**overrides)
+    )
+
+
+class TestArcPartition:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4, 7, 16])
+    def test_bounds_tile_the_circle_exactly(self, shards):
+        partition = ArcPartition(shards)
+        cursor = 0
+        for arc in range(shards):
+            lo, hi = partition.bounds(arc)
+            assert lo == cursor
+            assert hi > lo
+            cursor = hi
+        assert cursor == KEY_SPACE_SIZE
+
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4, 7, 16])
+    def test_arc_of_key_agrees_with_bounds_at_edges(self, shards):
+        partition = ArcPartition(shards)
+        for arc in range(shards):
+            lo, hi = partition.bounds(arc)
+            assert partition.arc_of_key(lo) == arc
+            assert partition.arc_of_key(hi - 1) == arc
+            if arc:
+                assert partition.arc_of_key(lo - 1) == arc - 1
+
+    def test_arc_widths_within_one_key(self):
+        partition = ArcPartition(7)
+        widths = {
+            hi - lo
+            for lo, hi in (partition.bounds(arc) for arc in range(7))
+        }
+        assert max(widths) - min(widths) <= 1
+
+    def test_arc_of_key_canonicalises_off_circle_keys(self):
+        partition = ArcPartition(4)
+        assert partition.arc_of_key(KEY_SPACE_SIZE) == partition.arc_of_key(0)
+        assert partition.arc_of_key(-1) == partition.arc_of_key(KEY_SPACE_SIZE - 1)
+
+    def test_arc_of_peer_and_manager_arcs_are_pure_hashes(self):
+        partition = ArcPartition(4)
+        assert partition.arc_of_peer(17) == partition.arc_of_key(peer_key(17))
+        arcs = partition.manager_arcs(17, num_score_managers=3)
+        assert arcs == {
+            partition.arc_of_key(replica_key(17, index)) for index in range(3)
+        }
+        assert arcs <= set(range(4))
+
+    def test_single_shard_owns_everything(self):
+        partition = ArcPartition(1)
+        assert partition.bounds(0) == (0, KEY_SPACE_SIZE)
+        assert partition.manager_arcs(99, num_score_managers=5) == {0}
+
+    def test_invalid_construction_and_bounds(self):
+        with pytest.raises(ValueError):
+            ArcPartition(0)
+        with pytest.raises(ValueError):
+            ArcPartition(2).bounds(2)
+
+
+class TestEpochBarrierOrdering:
+    """merge_outbound is the epoch exchange barrier's ordering guarantee."""
+
+    @staticmethod
+    def _plan(shard: int, outbound) -> ShardPlan:
+        return ShardPlan(
+            shard=shard,
+            events=len(outbound),
+            arrivals=0,
+            membership_events=len(outbound),
+            outbound=tuple(outbound),
+        )
+
+    def test_merge_is_independent_of_plan_order(self):
+        rng = random.Random(7)
+        messages = [
+            (round(rng.uniform(0.0, 8.0), 3), rng.randrange(100), rng.randrange(4))
+            for _ in range(40)
+        ]
+        plans = [
+            self._plan(shard, messages[shard::4]) for shard in range(4)
+        ]
+        reference = merge_outbound(plans)
+        for _ in range(5):
+            shuffled = plans[:]
+            rng.shuffle(shuffled)
+            assert merge_outbound(shuffled) == reference
+        assert reference == sorted(reference)
+
+    def test_merge_orders_by_time_then_sequence_then_destination(self):
+        plans = [
+            self._plan(0, [(2.0, 5, 1), (1.0, 9, 3)]),
+            self._plan(1, [(1.0, 9, 2), (1.0, 2, 0)]),
+        ]
+        assert merge_outbound(plans) == [
+            (1.0, 2, 0),
+            (1.0, 9, 2),
+            (1.0, 9, 3),
+            (2.0, 5, 1),
+        ]
+
+    def test_plan_epoch_shard_routes_only_cross_arc(self):
+        shards = 4
+        partition = ArcPartition(shards)
+        subject = 23
+        num_sm = 3
+        home = partition.arc_of_peer(subject)
+        events = [
+            (1.0, 0, "arrival", -1),
+            (1.5, 1, "sample", -1),
+            (2.0, 2, "admission_response", subject),
+        ]
+        plan = plan_epoch_shard(home, shards, num_sm, events)
+        assert plan.events == 3
+        assert plan.arrivals == 1
+        assert plan.membership_events == 1
+        expected = {
+            partition.arc_of_key(replica_key(subject, index))
+            for index in range(num_sm)
+        } - {home}
+        assert {dest for _, _, dest in plan.outbound} == expected
+        for time, sequence, _ in plan.outbound:
+            assert (time, sequence) == (2.0, 2)
+
+
+class TestShardedDigestEquality:
+    """Serial vs sharded bit-identity over shard counts, seeds, backends."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_sharded_matches_serial_digest(self, shards, seed):
+        params = _tiny_params(seed=seed)
+        serial = summary_digest(run_simulation(params))
+        summary = run_sharded_simulation(params, shards=shards)
+        assert summary_digest(summary) == serial
+        assert summary.sharding is not None
+        assert summary.sharding["shards"] == shards
+
+    @pytest.mark.parametrize("scheme", ["rocq", "eigentrust"])
+    def test_sharded_matches_serial_across_schemes(self, scheme):
+        params = _tiny_params(seed=3, scheme=scheme)
+        serial = summary_digest(run_simulation(params))
+        assert summary_digest(run_sharded_simulation(params, shards=4)) == serial
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_backends_are_bit_identical(self, backend):
+        params = _tiny_params(seed=2)
+        serial = summary_digest(run_simulation(params))
+        summary = run_sharded_simulation(params, shards=4, backend=backend, jobs=2)
+        assert summary_digest(summary) == serial
+        assert summary.sharding["backend"] == backend
+
+    def test_process_backend_is_bit_identical(self):
+        # One case only: process pools are expensive to spin up and the
+        # plan payloads' picklability is what this actually exercises.
+        params = _tiny_params(seed=2)
+        serial = summary_digest(run_simulation(params))
+        summary = run_sharded_simulation(params, shards=2, backend="process", jobs=2)
+        assert summary_digest(summary) == serial
+
+    def test_random_workloads_property(self):
+        """Random (seed, arrival_rate, epoch_length) draws stay bit-identical."""
+        rng = random.Random(2026)
+        for _ in range(3):
+            seed = rng.randrange(1, 10_000)
+            arrival_rate = rng.choice([0.05, 0.1, 0.2])
+            epoch_length = rng.choice([1, 7, 64, 1024])
+            params = _tiny_params(seed=seed, arrival_rate=arrival_rate)
+            serial = summary_digest(run_simulation(params))
+            for shards in (1, 2, 4):
+                summary = run_sharded_simulation(
+                    params, shards=shards, epoch_length=epoch_length
+                )
+                assert summary_digest(summary) == serial, (
+                    f"divergence at seed={seed} shards={shards} "
+                    f"epoch_length={epoch_length}"
+                )
+
+    def test_epoch_and_barrier_accounting(self):
+        params = _tiny_params(seed=1)
+        summary = run_sharded_simulation(params, shards=2, epoch_length=16)
+        stats = summary.sharding
+        assert stats["epoch_length"] == 16
+        assert stats["epochs"] >= 1
+        # Two barriers (exchange + commit) per epoch, by construction.
+        assert stats["barriers"] == 2 * stats["epochs"]
+        assert len(stats["epoch_exchange"]) == stats["epochs"]
+        assert sum(stats["epoch_exchange"]) == stats["cross_arc_messages"]
+
+    def test_default_epoch_length_is_used(self):
+        params = _tiny_params(seed=1)
+        summary = run_sharded_simulation(params, shards=2)
+        assert summary.sharding["epoch_length"] == DEFAULT_EPOCH_LENGTH
+
+    def test_invalid_configuration_raises(self):
+        from repro.errors import SimulationError
+
+        params = _tiny_params(seed=1)
+        with pytest.raises(SimulationError):
+            ShardedSimulation(params, shards=0)
+        with pytest.raises(SimulationError):
+            ShardedSimulation(params, shards=2, epoch_length=0)
+
+    def test_sharding_never_perturbs_the_digest_document(self):
+        """summary_digest must strip the sharding telemetry."""
+        params = _tiny_params(seed=4)
+        summary = run_sharded_simulation(params, shards=2)
+        document = summary.to_dict()
+        assert "sharding" in document
+        round_tripped = RunSummary.from_dict(document)
+        assert round_tripped.sharding == summary.sharding
+        assert summary_digest(round_tripped) == summary_digest(summary)
+
+
+class TestShardedGoldenDigests:
+    """The sharded path reproduces the pre-optimisation golden digests."""
+
+    def _golden(self) -> dict[str, str]:
+        return json.loads(
+            (DATA_DIR / "preopt_digests.json").read_text(encoding="utf-8")
+        )
+
+    def test_growth_stress_rocq_golden_digest_sharded(self):
+        golden = self._golden()
+        name = "growth_stress_1500_rocq"
+        params = (
+            paper_default(seed=1)
+            .scaled(1500 / 500_000)
+            .with_overrides(arrival_rate=0.2, reputation_scheme="rocq")
+        )
+        summary = run_sharded_simulation(params, shards=4)
+        assert summary_digest(summary) == golden[name]
+
+    def test_preopt_trace_replays_bit_identically_sharded(self):
+        log = TraceLog.load(DATA_DIR / "preopt_tiny.jsonl")
+        summary, _ = replay_simulation(log, shards=4)
+        assert summary_digest(summary) == PREOPT_TRACE_DIGEST
+        assert summary.sharding["shards"] == 4
+
+
+class TestShardedCli:
+    ARGS = ["run", "--scenario", "tiny_test", "--seed", "5", "--quiet"]
+
+    def _run(self, capsys, argv):
+        from repro import cli
+
+        exit_code = cli.main(argv)
+        captured = capsys.readouterr()
+        return exit_code, captured.out, captured.err
+
+    def test_json_reports_shards_and_barriers(self, capsys):
+        exit_code, out, _ = self._run(
+            capsys, [*self.ARGS, "--shards", "2", "--json"]
+        )
+        assert exit_code == 0
+        document = json.loads(out)
+        assert document["request"]["shards"] == 2
+        stats = document["summaries"][0]["sharding"]
+        assert stats["shards"] == 2
+        assert stats["barriers"] == 2 * stats["epochs"]
+        assert len(stats["epoch_exchange"]) == stats["epochs"]
+
+    def test_shards_do_not_change_the_digest(self, capsys):
+        exit_code, serial_out, _ = self._run(capsys, [*self.ARGS, "--json"])
+        assert exit_code == 0
+        exit_code, sharded_out, _ = self._run(
+            capsys, [*self.ARGS, "--shards", "4", "--json"]
+        )
+        assert exit_code == 0
+        assert (
+            json.loads(serial_out)["digest"] == json.loads(sharded_out)["digest"]
+        )
+
+    def test_text_mode_prints_sharding_line(self, capsys):
+        exit_code, out, _ = self._run(capsys, [*self.ARGS, "--shards", "2"])
+        assert exit_code == 0
+        assert "shards=2" in out
+        assert "sharding:" in out
+        assert "barrier(s)" in out
+
+    def test_sharded_runs_bypass_the_cache(self, tmp_path, capsys):
+        argv = [*self.ARGS, "--shards", "2", "--cache-dir", str(tmp_path)]
+        exit_code, _, err = self._run(capsys, argv)
+        assert exit_code == 0
+        exit_code, _, err = self._run(capsys, argv)
+        assert exit_code == 0
+        # Second run must still miss: sharded specs never enter the cache.
+        assert "1 hit(s)" not in err
