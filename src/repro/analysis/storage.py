@@ -10,12 +10,32 @@ from __future__ import annotations
 
 import csv
 import json
+import math
 import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Sequence
 
 __all__ = ["ResultStore"]
+
+
+def _json_safe(value: Any) -> Any:
+    """Copy ``value`` with non-finite floats replaced by ``None``.
+
+    ``json.dump(..., allow_nan=True)`` would emit bare ``NaN``/``Infinity``
+    tokens, which are not JSON: strict consumers (sqlite/postgres JSON
+    columns, ``jq``, parsers in other languages) reject the whole document.
+    Sanitising to ``null`` keeps every stored document standard JSON;
+    :meth:`repro.metrics.summary.RunSummary.from_dict` maps the ``null``
+    back to ``nan`` for float metrics, so summaries still round-trip.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
 
 
 @dataclass
@@ -43,13 +63,26 @@ class ResultStore:
         torn document — the store is shared by concurrently submitted runs
         (:meth:`repro.api.SimulationService.submit`) through the run cache,
         where a half-written file would otherwise poison the (params, seed)
-        key for good.
+        key for good.  Non-finite floats are sanitised to ``null`` (see
+        :func:`_json_safe`), and a serialisation failure never leaks the
+        temp file into the store directory.
         """
         path = self.path_for(name)
         temp_path = path.with_name(f"{path.name}.tmp-{os.getpid()}-{id(document)}")
-        with open(temp_path, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=2, sort_keys=True, allow_nan=True)
-        os.replace(temp_path, path)
+        try:
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    _json_safe(document),
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                    allow_nan=False,
+                )
+            os.replace(temp_path, path)
+        finally:
+            # Reached with the temp file still present only when json.dump
+            # (or the rename) raised; a successful replace already consumed it.
+            temp_path.unlink(missing_ok=True)
         return path
 
     def load_json(self, name: str) -> Any:

@@ -10,7 +10,10 @@ One front door for everything the library can execute:
 * :class:`RunHandle` — asynchronous submission with progress events and
   cooperative cancellation;
 * :class:`RunResult` / :class:`BatchResult` — results with wall-clock-free
-  digests (the golden-test currency).
+  digests (the golden-test currency);
+* :class:`ReputationServer` / :func:`serve` — the long-lived JSON-over-HTTP
+  service (``python -m repro serve``) binding the simulation service to a
+  durable reputation store (:mod:`repro.storage`).
 
 Quickstart::
 
@@ -42,6 +45,7 @@ from .errors import RunCancelledError, UnknownNameError, did_you_mean
 from .handle import ProgressEvent, RunHandle
 from .request import RunRequest
 from .results import BatchResult, RunResult, summary_digest
+from .server import ReputationServer, serve
 from .service import SimulationService
 
 __all__ = [
@@ -51,6 +55,8 @@ __all__ = [
     "RunHandle",
     "ProgressEvent",
     "SimulationService",
+    "ReputationServer",
+    "serve",
     "TraceSpec",
     "catalogue",
     "CATALOGUE_SECTIONS",

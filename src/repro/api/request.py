@@ -30,6 +30,7 @@ from ..config import AdversarySpec, SimulationParameters
 from ..errors import ConfigurationError
 from ..parallel.specs import RunSpec
 from ..rng import derive_seed
+from ..storage.spec import PersistSpec
 from ..trace.log import TraceHeader, load_trace_header, trace_file_digest
 from ..trace.spec import TraceSpec
 from ..workloads.registry import available_scenarios, get_scenario
@@ -117,6 +118,16 @@ class RunRequest:
     epoch_length:
         Sharded engine's epoch window in transaction steps (``None`` uses
         the engine default); only meaningful with ``shards > 1``.
+    persist:
+        Optional persistence facet — a
+        :class:`~repro.storage.spec.PersistSpec`, a bare store URL/path, or
+        a mapping like ``{"store": "sqlite://rep.db", "key": "...",
+        "resume": true}``.  The run's backend state is checkpointed into
+        the store on finalize (and restored first when ``resume``).  An
+        execution *side-effect*, not part of the run's identity: excluded
+        from :meth:`fingerprint` like ``shards``, and persisted runs bypass
+        the run cache (a cache hit would skip the state write).  Requires
+        ``repeats == 1``, no trace facet and ``shards == 1``.
     """
 
     scenario: str | None = None
@@ -130,6 +141,7 @@ class RunRequest:
     trace: TraceSpec | None = None
     shards: int = 1
     epoch_length: int | None = None
+    persist: PersistSpec | None = None
 
     def __post_init__(self) -> None:
         if self.scenario is not None:
@@ -154,6 +166,8 @@ class RunRequest:
                 raise ConfigurationError("epoch_length must be >= 1")
         object.__setattr__(self, "trace", TraceSpec.parse(self.trace))
         self._validate_trace()
+        object.__setattr__(self, "persist", PersistSpec.parse(self.persist))
+        self._validate_persist()
         # Fail fast: override *values* must produce valid parameters too.
         self.resolve()
 
@@ -176,6 +190,26 @@ class RunRequest:
             # Validates existence and format up front (invalid requests
             # cannot exist); the header is cached for resolve()/seeds().
             self._trace_header()
+
+    def _validate_persist(self) -> None:
+        if self.persist is None:
+            return
+        if self.repeats != 1:
+            raise ConfigurationError(
+                "persistence requires repeats == 1: a snapshot key holds "
+                "exactly one backend state, and later repeats would "
+                "silently overwrite earlier ones"
+            )
+        if self.trace is not None:
+            raise ConfigurationError(
+                "persistence cannot be combined with a trace facet; run "
+                "them as separate requests"
+            )
+        if self.shards > 1:
+            raise ConfigurationError(
+                "persistence requires shards == 1: the sharded engine "
+                "discards its per-shard backends after the merge"
+            )
 
     def _trace_header(self) -> TraceHeader:
         """The replayed trace's header, loaded once and cached."""
@@ -279,6 +313,7 @@ class RunRequest:
         params = self.resolve()
         label = self.run_label()
         trace = self.trace
+        persist = self.persist
         return [
             RunSpec(
                 params=params,
@@ -293,6 +328,13 @@ class RunRequest:
                 trace_digest_every=1 if trace is None else trace.digest_every,
                 shards=self.shards,
                 epoch_length=self.epoch_length,
+                persist_path=None if persist is None else persist.store,
+                persist_key=(
+                    None
+                    if persist is None
+                    else (persist.key or f"run/{label}")
+                ),
+                persist_resume=False if persist is None else persist.resume,
             )
             for repeat, seed in enumerate(self.seeds())
         ]
@@ -308,6 +350,8 @@ class RunRequest:
         ``shards``/``epoch_length`` are deliberately absent: they change how
         a run executes, never what it computes (bit-identity is pinned by
         the golden-digest tests), exactly like the service's job count.
+        ``persist`` is absent for the same reason — checkpointing is a
+        side-effect of execution, not part of what the run computes.
         """
         document = {"params": self.resolve().to_dict(), "seeds": list(self.seeds())}
         if self.trace is not None:
@@ -340,6 +384,7 @@ class RunRequest:
             "trace": self.trace.to_dict() if self.trace is not None else None,
             "shards": self.shards,
             "epoch_length": self.epoch_length,
+            "persist": self.persist.to_dict() if self.persist is not None else None,
         }
 
     def to_json(self, indent: int = 2) -> str:

@@ -1,11 +1,16 @@
 """The consolidated command-line front door: ``python -m repro``.
 
-Five subcommands, all thin shims over :class:`repro.api.SimulationService`:
+Six subcommands, all thin shims over :class:`repro.api.SimulationService`:
 
 ``run``
     Execute one :class:`~repro.api.RunRequest` — scenario, scheme,
     adversary, ``--set`` parameter overrides, seed/repeats — and print a
     summary table (or the full JSON result with ``--json``).
+``serve``
+    The long-lived JSON-over-HTTP reputation service
+    (:mod:`repro.api.server`): submit runs, stream progress events, query
+    reputation persisted in a durable store (:mod:`repro.storage`) that
+    survives restarts.
 ``trace``
     The trace engine: ``record`` a run's event trace, ``replay`` it under
     the same or a modified configuration, ``diff`` two traces down to the
@@ -308,6 +313,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rows.append([name, f"{mean:.4g}", f"{std:.3g}"])
     print(format_table(["metric", "mean", "std"], rows))
     print(f"digest: {result.digest()}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# serve                                                                   #
+# --------------------------------------------------------------------- #
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .api.server import serve
+
+    serve(
+        args.store,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        backend=args.backend,
+    )
     return 0
 
 
@@ -719,6 +740,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_options(run_parser)
     _add_sharding_options(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the long-lived JSON-over-HTTP reputation service backed by "
+            "a durable store (submit runs, stream progress, query persisted "
+            "reputation)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--store",
+        required=True,
+        help=(
+            "durable store URL (sqlite://path, memory://name) or a bare "
+            "sqlite database path; reputation state survives restarts here"
+        ),
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=_nonnegative_int,
+        default=8737,
+        help="TCP port (0 picks a free port; the chosen one is announced)",
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="simulations to run concurrently (1 = serial)",
+    )
+    serve_parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help=(
+            "executor backend; memory:// stores force an in-process backend, "
+            "file-backed stores default like --jobs everywhere else"
+        ),
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     trace_parser = subparsers.add_parser(
         "trace",

@@ -78,6 +78,15 @@ class WaitingPeriodError(ReproError):
         self.now = now
 
 
+class PersistenceError(ReproError):
+    """A durable-store operation failed or was handed inconsistent state.
+
+    Raised by the :mod:`repro.storage` drivers (unknown driver URL, payload
+    that is not valid JSON, digest mismatch after a restore) and by backend
+    ``restore_state`` implementations handed a snapshot they cannot apply.
+    """
+
+
 class ProtocolError(ReproError):
     """A message or state transition violated the lending protocol."""
 

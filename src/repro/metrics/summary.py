@@ -16,6 +16,17 @@ from .timeseries import TimeSeries
 __all__ = ["RunSummary", "summary_digest"]
 
 
+def _float_or_nan(value: Any) -> float:
+    """Parse a float metric, mapping JSON ``null`` back to ``nan``.
+
+    :meth:`repro.analysis.storage.ResultStore.save_json` sanitises
+    non-finite floats to ``null`` (bare ``NaN`` tokens are not valid JSON),
+    so a persisted summary whose metric was ``nan`` — e.g. a success rate
+    over zero decisions — comes back as ``None`` and must round-trip.
+    """
+    return float("nan") if value is None else float(value)
+
+
 def summary_digest(summary: "RunSummary") -> str:
     """Canonical digest of one run summary, ignoring wall-clock time.
 
@@ -225,13 +236,13 @@ class RunSummary:
             transactions_attempted=int(data["transactions_attempted"]),
             transactions_served=int(data["transactions_served"]),
             transactions_denied=int(data["transactions_denied"]),
-            success_rate=float(data["success_rate"]),
+            success_rate=_float_or_nan(data["success_rate"]),
             introductions_granted=int(data["introductions_granted"]),
             audits_passed=int(data["audits_passed"]),
             audits_failed=int(data["audits_failed"]),
-            total_reputation_lent=float(data["total_reputation_lent"]),
-            total_rewards_paid=float(data["total_rewards_paid"]),
-            total_stakes_lost=float(data["total_stakes_lost"]),
+            total_reputation_lent=_float_or_nan(data["total_reputation_lent"]),
+            total_rewards_paid=_float_or_nan(data["total_rewards_paid"]),
+            total_stakes_lost=_float_or_nan(data["total_stakes_lost"]),
             cooperative_reputation=TimeSeries.from_dict(
                 data["cooperative_reputation"]
             ),

@@ -74,10 +74,18 @@ class TimeSeries:
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "TimeSeries":
-        """Rebuild a series produced by :meth:`to_dict`."""
+        """Rebuild a series produced by :meth:`to_dict`.
+
+        Sample values of ``None`` map back to ``nan``: strict-JSON storage
+        (:meth:`repro.analysis.storage.ResultStore.save_json`) sanitises
+        non-finite floats to ``null``, and samples like "mean reputation of
+        an empty cohort" are legitimately ``nan``.
+        """
         series = cls(name=str(data.get("name", "")))
         times = list(data.get("times", []))  # type: ignore[arg-type]
         values = list(data.get("values", []))  # type: ignore[arg-type]
         for time, value in zip(times, values):
-            series.append(float(time), float(value))
+            series.append(
+                float(time), float("nan") if value is None else float(value)
+            )
         return series

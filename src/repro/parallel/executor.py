@@ -83,6 +83,25 @@ def execute_spec(spec: RunSpec) -> RunSummary:
             assert spec.trace_record_to is not None
             new_log.save(spec.trace_record_to)
         return summary
+    if spec.persist_path is not None:
+        # Durable persistence (imported lazily, like tracing).  The store is
+        # opened per spec execution — sqlite in WAL mode arbitrates between
+        # pool workers hitting the same file, and ``memory://name`` URLs
+        # resolve to the process-shared instance for in-process executors.
+        from ..storage import BackendPersistence, make_store
+
+        store = make_store(spec.persist_path)
+        try:
+            persistence = BackendPersistence(
+                store,
+                key=spec.persist_key or "",
+                resume=spec.persist_resume,
+            )
+            return run_simulation(
+                spec.params, seed=spec.seed, persistence=persistence
+            )
+        finally:
+            store.close()
     if spec.shards > 1:
         # The sharded driver produces bit-identical results (pinned by the
         # golden-digest tests); plan fan-out runs inline here because a spec
@@ -313,8 +332,15 @@ def run_specs(
         # mask what the replay actually produced.  Sharded specs bypass it
         # too — results are bit-identical to serial, but the summary carries
         # the run's sharding telemetry, which a cached serial document lacks
-        # (and which must never leak *into* the shared cache).
-        if cache is not None and spec.trace_mode is None and spec.shards <= 1:
+        # (and which must never leak *into* the shared cache).  Persisted
+        # specs bypass it as well: the checkpoint into the durable store is
+        # the point of the run, and a cache hit would skip the state write.
+        if (
+            cache is not None
+            and spec.trace_mode is None
+            and spec.shards <= 1
+            and spec.persist_path is None
+        ):
             cached = cache.get(spec.params, spec.seed)
             if cached is not None:
                 if progress is not None:
@@ -330,7 +356,12 @@ def run_specs(
 
     def store_result(pending_index: int, summary: RunSummary) -> None:
         spec = pending[pending_index]
-        if cache is not None and spec.trace_mode is None and spec.shards <= 1:
+        if (
+            cache is not None
+            and spec.trace_mode is None
+            and spec.shards <= 1
+            and spec.persist_path is None
+        ):
             cache.put(spec.params, spec.seed, summary)
         if on_result is not None:
             on_result(pending_indices[pending_index], summary)

@@ -73,6 +73,20 @@ class RunSpec:
     epoch_length:
         Epoch window of the sharded engine, in transaction steps; ``None``
         uses :data:`repro.sim.sharded.DEFAULT_EPOCH_LENGTH`.
+    persist_path:
+        Durable-store URL (``sqlite://...``, ``memory://name``) or bare
+        sqlite path the run checkpoints its backend state to on finalize
+        (see :mod:`repro.storage`).  Like the trace facet, an execution
+        side-effect rather than part of the run's identity — excluded from
+        :func:`params_fingerprint`, and persisted specs bypass the run
+        cache (a cache hit would skip the state write).
+    persist_key:
+        Snapshot key inside the store; ``None`` lets the persistence layer
+        derive ``backend/<scheme>``.
+    persist_resume:
+        Restore the backend from the store before the run instead of
+        starting cold (digest-verified; see
+        :class:`repro.storage.BackendPersistence`).
     """
 
     params: SimulationParameters
@@ -87,6 +101,9 @@ class RunSpec:
     trace_digest_every: int = 1
     shards: int = 1
     epoch_length: int | None = None
+    persist_path: str | None = None
+    persist_key: str | None = None
+    persist_resume: bool = False
 
     def describe(self) -> str:
         """Short human-readable progress line for this run."""

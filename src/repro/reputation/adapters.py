@@ -28,8 +28,9 @@ no per-manager replicas to migrate.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable
+from typing import Any, Iterable
 
+from ..errors import PersistenceError
 from ..ids import PeerId
 from ..rocq.protocol import FeedbackReport, ReputationAdjustment
 from .base import ReputationSystem
@@ -219,3 +220,87 @@ class LogReputationBackend:
             f"s{self._reports_since_refresh}".encode("ascii")
         )
         return parts.hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # Durable persistence (repro.storage)                                  #
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict[str, Any]:
+        """JSON-serialisable snapshot covering everything :meth:`state_digest`
+        hashes.
+
+        JSON floats round-trip exactly (serialised via ``repr``, parsed via
+        ``float``), so a save → load → :meth:`restore_state` cycle
+        reproduces the digest bit-for-bit.  Zero-count log entries —
+        :class:`~collections.defaultdict` read artefacts that the digest
+        already skips — are dropped here too.
+        """
+        log = self.system.log
+        positive = [
+            [int(reporter), int(subject), int(count)]
+            for (reporter, subject), count in sorted(log.positive.items())
+            if count
+        ]
+        negative = [
+            [int(reporter), int(subject), int(count)]
+            for (reporter, subject), count in sorted(log.negative.items())
+            if count
+        ]
+        return {
+            "scheme": self.scheme,
+            "positive": positive,
+            "negative": negative,
+            "peers": sorted(int(peer) for peer in log.peers),
+            "credit": {str(peer): value for peer, value in self._credit.items()},
+            "table": {str(peer): value for peer, value in self._table.items()},
+            "reports_since_refresh": self._reports_since_refresh,
+            "reports_delivered": self.reports_delivered,
+            "adjustments_delivered": self.adjustments_delivered,
+        }
+
+    def restore_state(self, payload: dict[str, Any]) -> None:
+        """Rebuild from an :meth:`export_state` payload.
+
+        Must be called on a **freshly constructed** backend: the recorded
+        interactions are replayed through the wrapped system's own
+        :meth:`~repro.reputation.base.ReputationSystem.record_interaction`,
+        which is the only way to rebuild scheme-specific derived state
+        (EigenTrust's dirty-row tracking, for example) without baking each
+        scheme's internals into the snapshot format.  Replay order —
+        sorted positives then sorted negatives — is deterministic, and the
+        pairwise counters it produces are order-independent, so the restored
+        :meth:`state_digest` matches the exported one exactly.
+        """
+        if (
+            self.system.log.peers
+            or self._credit
+            or self.reports_delivered
+            or self.adjustments_delivered
+        ):
+            raise PersistenceError(
+                f"cannot restore scheme {self.scheme!r} state into a backend "
+                "that has already processed reports or adjustments"
+            )
+        for reporter, subject, count in payload.get("positive", ()):
+            for _ in range(int(count)):
+                self.system.record_interaction(
+                    int(reporter), int(subject), satisfied=True
+                )
+        for reporter, subject, count in payload.get("negative", ()):
+            for _ in range(int(count)):
+                self.system.record_interaction(
+                    int(reporter), int(subject), satisfied=False
+                )
+        # Peers can be known without appearing in any counter (e.g. every
+        # report about them was later zeroed out) — re-add them explicitly.
+        self.system.log.peers.update(int(peer) for peer in payload.get("peers", ()))
+        self._credit = {
+            int(peer): float(value)
+            for peer, value in payload.get("credit", {}).items()
+        }
+        self._table = {
+            int(peer): float(value)
+            for peer, value in payload.get("table", {}).items()
+        }
+        self._reports_since_refresh = int(payload.get("reports_since_refresh", 0))
+        self.reports_delivered = int(payload.get("reports_delivered", 0))
+        self.adjustments_delivered = int(payload.get("adjustments_delivered", 0))

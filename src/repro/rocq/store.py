@@ -41,7 +41,7 @@ from __future__ import annotations
 import hashlib
 import statistics
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any, Iterable
 
 from ..ids import PeerId
 from ..overlay.assignment import ScoreManagerAssignment
@@ -708,3 +708,74 @@ class ReputationStore:
             f"|r{self.reports_delivered}a{self.adjustments_delivered}".encode("ascii")
         )
         return parts.hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # Durable persistence (repro.storage)                                  #
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict[str, Any]:
+        """JSON-serialisable snapshot covering everything :meth:`state_digest`
+        hashes: every manager's record snapshots and credibility table, plus
+        the delivery counters.
+
+        Dict keys are stringified (JSON object keys are always strings);
+        :meth:`restore_state` parses them back to ints.  Floats round-trip
+        exactly through JSON, so a save → load → restore cycle reproduces
+        the digest bit-for-bit.  Caches, telemetry counters and the
+        assignment are derived/configured state and are excluded, exactly as
+        they are from the digest.
+        """
+        managers: dict[str, Any] = {}
+        for manager_id in sorted(self._managers):
+            state = self._managers[manager_id]
+            credibility = state.credibility
+            managers[str(manager_id)] = {
+                "records": {
+                    str(subject): state.export_record(subject)
+                    for subject in sorted(state.tracked_subjects())
+                },
+                "credibility": {
+                    str(reporter): {
+                        "value": credibility.record_for(reporter).value,
+                        "reports": credibility.record_for(reporter).reports,
+                    }
+                    for reporter in sorted(credibility.known_reporters())
+                },
+            }
+        return {
+            "scheme": self.scheme,
+            "managers": managers,
+            "reports_delivered": self.reports_delivered,
+            "adjustments_delivered": self.adjustments_delivered,
+        }
+
+    def restore_state(self, payload: dict[str, Any]) -> None:
+        """Rebuild manager state from an :meth:`export_state` payload.
+
+        Replaces whatever the store currently holds: existing managers and
+        every derived cache (assignment, arc indices, combined-reputation
+        memo, fused-loop views) are dropped, then managers are rebuilt with
+        the store's own configuration via :meth:`manager_state`.  The
+        assignment itself is construction-time configuration and is *not*
+        part of the snapshot — the caller is responsible for constructing
+        the store against the same overlay it was saved under.
+        """
+        self._managers.clear()
+        self._manager_views.clear()
+        self._assignment_cache.clear()
+        self._arc_dependents.clear()
+        self._arc_dependencies.clear()
+        self._arc_windows.clear()
+        self._reputation_cache.clear()
+        self._stale.clear()
+        for manager_key, manager_payload in payload.get("managers", {}).items():
+            state = self.manager_state(int(manager_key))
+            for subject_key, snapshot in manager_payload.get("records", {}).items():
+                state._records[int(subject_key)] = ReputationRecord.from_snapshot(
+                    snapshot
+                )
+            for reporter_key, cred in manager_payload.get("credibility", {}).items():
+                state.credibility._records[int(reporter_key)] = CredibilityRecord(
+                    value=float(cred["value"]), reports=int(cred["reports"])
+                )
+        self.reports_delivered = int(payload.get("reports_delivered", 0))
+        self.adjustments_delivered = int(payload.get("adjustments_delivered", 0))

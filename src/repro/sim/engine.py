@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..adversary import make_adversary
 from ..config import SimulationParameters
@@ -48,6 +49,9 @@ from .event_queue import CalendarEventQueue
 from .events import Event, EventKind
 from .transactions import TransactionEngine
 
+if TYPE_CHECKING:
+    from ..storage import BackendPersistence
+
 __all__ = ["Simulation", "run_simulation"]
 
 
@@ -59,7 +63,12 @@ class _ArrivalPayload:
 class Simulation:
     """One complete simulation run of the reputation-lending community."""
 
-    def __init__(self, params: SimulationParameters, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        params: SimulationParameters,
+        seed: int | None = None,
+        persistence: "BackendPersistence | None" = None,
+    ) -> None:
         self.params = params
         self.seed = params.seed if seed is None else seed
         self.streams = RandomStreams(self.seed)
@@ -71,6 +80,13 @@ class Simulation:
             ring=self.ring, num_score_managers=params.num_score_managers
         )
         self.store = make_reputation_backend(params, assignment=self.assignment)
+        # Optional durable persistence (repro.storage): restore the backend
+        # from its checkpoint now — before setup() seeds founders — so a
+        # resumed run starts from exactly the state the last run saved, and
+        # checkpoint it again in _finalize().
+        self.persistence = persistence
+        if persistence is not None and persistence.resume:
+            persistence.restore(self.store)
         self.lending = LendingManager(store=self.store, params=params)
         self.admission = AdmissionController(
             params=params,
@@ -244,6 +260,8 @@ class Simulation:
             self.metrics.sample(self.clock.now, self.population, self.store)
         for tracer in self._tracers:
             tracer.on_finalize(self)
+        if self.persistence is not None:
+            self.persistence.checkpoint(self.store, time=self.clock.now)
 
     # ------------------------------------------------------------------ #
     # Event handling                                                       #
@@ -418,6 +436,10 @@ class Simulation:
         )
 
 
-def run_simulation(params: SimulationParameters, seed: int | None = None) -> RunSummary:
+def run_simulation(
+    params: SimulationParameters,
+    seed: int | None = None,
+    persistence: "BackendPersistence | None" = None,
+) -> RunSummary:
     """Convenience wrapper: build, run and summarise one simulation."""
-    return Simulation(params, seed=seed).run()
+    return Simulation(params, seed=seed, persistence=persistence).run()

@@ -1,0 +1,47 @@
+"""Durable reputation storage: drivers, checkpoint/restore, persist facet.
+
+The package persists the simulator's reputation state beyond one process:
+
+* :class:`ReputationStore` — the abstract store interface, with an
+  in-memory driver (:class:`MemoryReputationStore`) and a sqlite driver
+  (:class:`SqliteReputationStore`, WAL mode, single-writer transactions);
+  :func:`make_store` resolves ``memory://``/``sqlite://`` URLs and bare
+  paths, and :func:`register_store_driver` lets a postgres driver slot in
+  later;
+* :class:`BackendPersistence` — binds a backend to a store key: checkpoint
+  on finalize (full ``export_state()`` payload stamped with
+  ``state_digest()`` plus a queryable per-peer table), digest-verified
+  restore on construction;
+* :class:`PersistSpec` — the ``persist=...`` facet of
+  :class:`~repro.api.request.RunRequest`, carried through
+  :class:`~repro.parallel.specs.RunSpec` like the trace facet.
+"""
+
+from .base import (
+    PeerRecord,
+    ReputationStore,
+    StateSnapshot,
+    clamp_score,
+    make_store,
+    register_store_driver,
+    store_drivers,
+)
+from .memory import MemoryReputationStore
+from .persistence import BackendPersistence, derive_peer_records
+from .spec import PersistSpec
+from .sqlite import SqliteReputationStore
+
+__all__ = [
+    "BackendPersistence",
+    "MemoryReputationStore",
+    "PeerRecord",
+    "PersistSpec",
+    "ReputationStore",
+    "SqliteReputationStore",
+    "StateSnapshot",
+    "clamp_score",
+    "derive_peer_records",
+    "make_store",
+    "register_store_driver",
+    "store_drivers",
+]

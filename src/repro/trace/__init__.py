@@ -28,6 +28,7 @@ from .log import (
     TraceHeader,
     TraceLog,
     TraceRecord,
+    TraceTruncatedError,
     load_trace_header,
     trace_file_digest,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "TRACE_FORMAT_VERSION",
     "TRACE_MODES",
     "TraceFormatError",
+    "TraceTruncatedError",
     "TraceHeader",
     "TraceLog",
     "TraceRecord",

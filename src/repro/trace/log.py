@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
@@ -30,6 +31,7 @@ __all__ = [
     "TRACE_FORMAT",
     "TRACE_FORMAT_VERSION",
     "TraceFormatError",
+    "TraceTruncatedError",
     "TraceRecord",
     "TraceHeader",
     "TraceLog",
@@ -46,6 +48,19 @@ TRACE_FORMAT_VERSION = 1
 
 class TraceFormatError(ConfigurationError):
     """A trace file is malformed, truncated, or from a newer format."""
+
+
+class TraceTruncatedError(TraceFormatError):
+    """A trace file ends without its footer line.
+
+    Distinct from other format errors (wrong marker, unsupported version,
+    malformed lines) so callers can tell "the recording run never finished
+    or the file was cut short" apart from "this is not a trace this build
+    can read".  :meth:`TraceLog.save` writes atomically (temp file +
+    ``os.replace``), so a crash mid-save leaves the previous complete file
+    — a truncated trace therefore points at the *recording* run, not at a
+    torn write.
+    """
 
 
 @dataclass(frozen=True)
@@ -193,23 +208,36 @@ class TraceLog:
     # Persistence                                                          #
     # ------------------------------------------------------------------ #
     def save(self, path: str | Path) -> Path:
-        """Write the trace as JSON lines, creating parent directories."""
+        """Write the trace as JSON lines, creating parent directories.
+
+        The write is atomic (temp file in the same directory +
+        ``os.replace``), mirroring
+        :meth:`repro.analysis.storage.ResultStore.save_json`: a crash (or a
+        serialisation error) mid-save can never leave a torn, footer-less
+        file behind — readers observe either the previous complete trace or
+        the new one, and the temp file is unlinked on failure.
+        """
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
-        with target.open("w", encoding="utf-8") as handle:
-            handle.write(json.dumps(self.header.to_line(), sort_keys=True))
-            handle.write("\n")
-            for record in self.records:
-                handle.write(json.dumps(record.to_line(), sort_keys=True))
+        temp_path = target.with_name(f"{target.name}.tmp-{os.getpid()}-{id(self)}")
+        try:
+            with temp_path.open("w", encoding="utf-8") as handle:
+                handle.write(json.dumps(self.header.to_line(), sort_keys=True))
                 handle.write("\n")
-            footer = {
-                "end": True,
-                "records": len(self.records),
-                "final_state_digest": self.final_state_digest,
-                "summary_digest": self.summary_digest,
-            }
-            handle.write(json.dumps(footer, sort_keys=True))
-            handle.write("\n")
+                for record in self.records:
+                    handle.write(json.dumps(record.to_line(), sort_keys=True))
+                    handle.write("\n")
+                footer = {
+                    "end": True,
+                    "records": len(self.records),
+                    "final_state_digest": self.final_state_digest,
+                    "summary_digest": self.summary_digest,
+                }
+                handle.write(json.dumps(footer, sort_keys=True))
+                handle.write("\n")
+            os.replace(temp_path, target)
+        finally:
+            temp_path.unlink(missing_ok=True)
         return target
 
     @classmethod
@@ -232,9 +260,9 @@ class TraceLog:
                 break
             records.append(TraceRecord.from_line(line))
         if footer is None:
-            raise TraceFormatError(
-                f"{source}: truncated trace (no footer line); the recording "
-                "run probably did not finish"
+            raise TraceTruncatedError(
+                f"{source}: truncated trace (no footer); the recording run "
+                "probably did not finish"
             )
         if int(footer.get("records", -1)) != len(records):
             raise TraceFormatError(

@@ -28,6 +28,7 @@ from repro.sim.engine import Simulation, run_simulation
 from repro.trace import (
     TraceFormatError,
     TraceLog,
+    TraceTruncatedError,
     TraceRecorder,
     TraceSpec,
     diff_traces,
@@ -118,6 +119,46 @@ class TestRoundTrip:
         truncated.write_text("\n".join(lines[:-1]) + "\n")
         with pytest.raises(TraceFormatError):
             TraceLog.load(truncated)
+
+    def test_truncation_reported_distinctly_from_version_errors(
+        self, tmp_path, recorded, trace_file
+    ):
+        """A footer-less file raises TraceTruncatedError ("the recording run
+        did not finish"); a newer format version stays a plain
+        TraceFormatError — callers can tell the two apart."""
+        lines = trace_file.read_text().splitlines()
+        truncated = tmp_path / "truncated.jsonl"
+        truncated.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(TraceTruncatedError, match="truncated trace"):
+            TraceLog.load(truncated)
+        header = json.loads(lines[0])
+        header["version"] = 99
+        newer = tmp_path / "newer.jsonl"
+        newer.write_text(json.dumps(header) + "\n" + "\n".join(lines[1:]) + "\n")
+        with pytest.raises(TraceFormatError, match="version") as excinfo:
+            TraceLog.load(newer)
+        assert not isinstance(excinfo.value, TraceTruncatedError)
+
+    def test_save_is_atomic(self, tmp_path, recorded):
+        """A save that dies mid-write leaves the previous file intact and no
+        temp litter; readers never observe a footer-less trace."""
+        _, log = recorded
+        target = tmp_path / "atomic.jsonl"
+        log.save(target)
+        before = target.read_bytes()
+
+        class Unserialisable:
+            pass
+
+        broken = TraceLog(
+            seed=log.seed,
+            params={"poison": Unserialisable()},
+            records=list(log.records),
+        )
+        with pytest.raises(TypeError):
+            broken.save(target)
+        assert target.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir() if ".tmp-" in p.name] == []
 
 
 class TestReplay:
