@@ -18,6 +18,12 @@ A minimal JSON-over-HTTP server on the stdlib event loop
 ``GET  /reputation/<scheme>``     every persisted peer record of a scheme
 ``GET  /reputation/<scheme>/<id>``  one peer's persisted reputation
 ``GET  /state``                   snapshot keys in the backing store
+``GET  /report``                  consolidated report (robustness matrix +
+                                  detection quality + committed benchmark);
+                                  query params: ``sections``, ``scenario``,
+                                  ``scale``, ``repeats``, ``seed``,
+                                  ``schemes``, ``attacks`` (lists are
+                                  comma-separated)
 ``POST /shutdown``                graceful shutdown (same path as SIGTERM)
 ================================  =============================================
 
@@ -44,6 +50,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any
+from urllib.parse import parse_qs
 
 from ..errors import ConfigurationError, PersistenceError, ReproError
 from ..storage import PersistSpec, ReputationStore, make_store
@@ -264,6 +271,66 @@ class ReputationServer:
         return entry
 
     # ------------------------------------------------------------------ #
+    # Consolidated report                                                  #
+    # ------------------------------------------------------------------ #
+    def _report(self, query: dict[str, list[str]]) -> dict[str, Any]:
+        """The consolidated report document for ``GET /report``.
+
+        Runs the grid experiments on the server's own simulation service
+        (sharing its worker pool and run cache).  Blocking — the connection
+        handler dispatches it through :func:`asyncio.to_thread`.
+        """
+        # Imported per request: the report generator pulls in the whole
+        # experiments package, which no other route needs.
+        from ..analysis.storage import _json_safe
+        from ..report import generate_report
+        from .catalogue import resolve_scenario
+
+        def listing(name: str) -> list[str] | None:
+            values = [
+                item
+                for raw in query.get(name, [])
+                for item in raw.split(",")
+                if item
+            ]
+            return values or None
+
+        def number(name: str, cast: type, default: Any) -> Any:
+            values = query.get(name)
+            if not values:
+                return default
+            try:
+                return cast(values[-1])
+            except ValueError:
+                raise _HttpError(
+                    400, f"query parameter {name!r} must be "
+                    f"{'an integer' if cast is int else 'a number'}, "
+                    f"got {values[-1]!r}"
+                ) from None
+
+        seed = number("seed", int, 1)
+        repeats = number("repeats", int, 3)
+        scenario = query.get("scenario", [None])[-1]
+        base_params = (
+            resolve_scenario(scenario, seed=seed) if scenario else None
+        )
+        # Mirrors the CLI: a named scenario is already sized.
+        scale = number("scale", float, 1.0 if scenario else 0.1)
+        document = generate_report(
+            listing("sections"),
+            service=self.service,
+            scale=scale,
+            repeats=repeats,
+            seed=seed,
+            base_params=base_params,
+            schemes=listing("schemes"),
+            attacks=listing("attacks"),
+        )
+        # NaN cells (e.g. time-to-detection when nothing was detected) must
+        # not reach json.dumps un-sanitised: bare NaN tokens are not JSON.
+        return _json_safe(document)
+
+    # ------------------------------------------------------------------ #
     # Request routing                                                      #
     # ------------------------------------------------------------------ #
     def _route(self, method: str, path: str, body: dict[str, Any] | None):
@@ -343,12 +410,29 @@ class ReputationServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            method, path, body = await self._read_request(reader)
+            method, path, query, body = await self._read_request(reader)
             if method == "GET" and path.endswith("/events"):
                 parts = [part for part in path.split("/") if part]
                 if len(parts) == 3 and parts[0] == "runs":
                     await self._stream_events(writer, parts[1])
                     return
+            if method == "GET" and path.rstrip("/") == "/report":
+                # Report generation runs whole experiment grids; keep the
+                # event loop responsive while it does.
+                try:
+                    document = await asyncio.to_thread(
+                        self._report, parse_qs(query)
+                    )
+                except _HttpError:
+                    raise
+                except UnknownNameError as exc:
+                    raise _HttpError(
+                        400, str(exc), kind=exc.kind, known=list(exc.known)
+                    ) from exc
+                except Exception as exc:  # noqa: BLE001 - must answer
+                    raise _HttpError(500, f"internal error: {exc}") from exc
+                await self._respond(writer, 200, document)
+                return
             try:
                 status, document = self._route(method, path, body)
             except _HttpError:
@@ -371,7 +455,7 @@ class ReputationServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, dict[str, Any] | None]:
+    ) -> tuple[str, str, str, dict[str, Any] | None]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             raise _HttpError(400, "empty request")
@@ -400,8 +484,8 @@ class ReputationServer:
             if not isinstance(parsed, dict):
                 raise _HttpError(400, "request body must be a JSON object")
             body = parsed
-        path = target.split("?", 1)[0]
-        return method.upper(), path, body
+        path, _, query = target.partition("?")
+        return method.upper(), path, query, body
 
     async def _respond(
         self, writer: asyncio.StreamWriter, status: int, document: Any

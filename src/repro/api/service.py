@@ -27,7 +27,7 @@ from __future__ import annotations
 import sys
 import threading
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 from ..analysis.storage import ResultStore
 from ..config import SimulationParameters
@@ -250,6 +250,7 @@ class SimulationService:
         progress: ProgressFn | None = None,
         base_params: SimulationParameters | None = None,
         throughput: bool = False,
+        experiment_kwargs: Mapping[str, Mapping[str, Any]] | None = None,
     ) -> "dict[str, ExperimentResult]":
         """Run the selected experiments (all by default) and validate each.
 
@@ -258,7 +259,10 @@ class SimulationService:
         sweep-sharing rule, incremental persistence into ``store`` — now
         running on the service's executor and cache.  ``throughput`` reports
         each completed run's transactions/sec through ``progress`` (or
-        stderr).  The returned mapping preserves the requested order.
+        stderr).  ``experiment_kwargs`` maps experiment ids to extra
+        constructor keyword arguments (e.g. ``{"detection_eval": {"schemes":
+        [...]}}`` restricts a grid experiment to a sub-grid).  The returned
+        mapping preserves the requested order.
         """
         # Imported per call, not at module top: the experiments package pulls
         # in every figure module, which the service's other workflows (run,
@@ -290,6 +294,7 @@ class SimulationService:
                 base_params=base_params,
                 executor=executor,
                 cache=self._cache,
+                **((experiment_kwargs or {}).get(experiment_id, {})),
             )
             if isinstance(experiment, Figure4LentAmount):
                 figure4_instance = experiment

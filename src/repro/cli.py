@@ -565,6 +565,51 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------- #
+# report                                                                  #
+# --------------------------------------------------------------------- #
+def _cmd_report(args: argparse.Namespace) -> int:
+    # Imported per command: the report generator pulls in the experiments
+    # package (every figure module), which no other subcommand needs.
+    from .report import (
+        generate_report,
+        render_json,
+        render_markdown,
+        resolve_report_sections,
+        write_report,
+    )
+
+    sections = resolve_report_sections(args.sections)
+    base_params: SimulationParameters | None = None
+    if args.scenario is not None:
+        base_params = resolve_scenario(args.scenario, seed=args.seed)
+    # Mirrors `experiment`: a named scenario is already sized; only the
+    # paper-default base needs the laptop-friendly 0.1 downscale.
+    scale = args.scale if args.scale is not None else (
+        1.0 if args.scenario is not None else 0.1
+    )
+    with SimulationService(
+        jobs=args.jobs, backend=args.backend, cache=args.cache_dir
+    ) as service:
+        document = generate_report(
+            sections,
+            service=service,
+            scale=scale,
+            repeats=args.repeats,
+            seed=args.seed,
+            base_params=base_params,
+            schemes=args.schemes,
+            attacks=args.attacks,
+            bench_path=args.bench,
+            progress=_stderr,
+        )
+    print(render_json(document) if args.json else render_markdown(document), end="")
+    if args.out is not None:
+        json_path, markdown_path = write_report(document, args.out)
+        _stderr(f"(report written to {json_path} and {markdown_path})")
+    return 1 if document["checks"]["failed"] else 0
+
+
+# --------------------------------------------------------------------- #
 # bench                                                                   #
 # --------------------------------------------------------------------- #
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -984,6 +1029,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_options(experiment_parser)
     experiment_parser.set_defaults(handler=_cmd_experiment)
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help=(
+            "consolidated cross-run report: robustness matrix + detection "
+            "quality + the committed hot-path benchmark in one artifact"
+        ),
+    )
+    report_parser.add_argument(
+        "--sections",
+        nargs="*",
+        default=None,
+        help="subset of report sections (robustness, detection, bench)",
+    )
+    report_parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help=(
+            "fraction of the base horizon (default: 0.1 of the paper's 500k "
+            "transactions, or 1.0 when --scenario already sizes the run)"
+        ),
+    )
+    report_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="independent repetitions per grid cell",
+    )
+    report_parser.add_argument("--seed", type=int, default=1, help="master seed")
+    report_parser.add_argument(
+        "--scenario",
+        default=None,
+        help="base parameters from the scenario registry",
+    )
+    report_parser.add_argument(
+        "--schemes",
+        nargs="*",
+        default=None,
+        help="restrict both grid experiments to these reputation schemes",
+    )
+    report_parser.add_argument(
+        "--attacks",
+        nargs="*",
+        default=None,
+        help="restrict both grid experiments to these adversary strategies",
+    )
+    report_parser.add_argument(
+        "--bench",
+        default="BENCH_hotpath.json",
+        help=(
+            "committed benchmark report for the bench section "
+            "(default: ./BENCH_hotpath.json; missing file degrades to a note)"
+        ),
+    )
+    report_parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory for report.json and report.md",
+    )
+    report_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the JSON document instead of the Markdown rendering",
+    )
+    _add_executor_options(report_parser)
+    report_parser.set_defaults(handler=_cmd_report)
 
     bench_parser = subparsers.add_parser(
         "bench",

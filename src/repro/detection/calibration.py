@@ -1,0 +1,158 @@
+"""Calibration metrics: reputation as a probability of good service.
+
+Ranking quality and calibration are separate axes — a scheme can order
+adversaries perfectly below honest peers while its absolute scores mean
+nothing as probabilities (and vice versa), so both must be reported.  The
+functions here read each reputation score as the predicted probability
+that the peer serves cooperatively and compare against the ground-truth
+cooperative flag:
+
+* :func:`brier_score` — mean squared error of the probability forecast;
+* :func:`reliability_diagram` — predicted probability vs observed
+  cooperative frequency over **fixed** equal-width bins (binning never
+  adapts to the data, so two runs bin identically);
+* :func:`expected_calibration_error` — bin-weighted mean absolute gap
+  between confidence and observed frequency.
+
+Pure numpy, JSON-serialisable dataclasses, no sklearn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ReliabilityBin",
+    "ReliabilityDiagram",
+    "brier_score",
+    "expected_calibration_error",
+    "reliability_diagram",
+]
+
+
+def _validate(
+    probabilities: Iterable[float], outcomes: Iterable[Any]
+) -> tuple[np.ndarray, np.ndarray]:
+    probability_array = np.asarray(list(probabilities), dtype=float)
+    outcome_array = np.asarray(list(outcomes), dtype=bool)
+    if probability_array.shape != outcome_array.shape:
+        raise ValueError(
+            "probabilities and outcomes must align: "
+            f"{probability_array.shape} vs {outcome_array.shape}"
+        )
+    if probability_array.size and (
+        probability_array.min() < 0.0 or probability_array.max() > 1.0
+    ):
+        raise ValueError("probabilities must lie within [0, 1]")
+    return probability_array, outcome_array
+
+
+@dataclass(frozen=True)
+class ReliabilityBin:
+    """One fixed-width bin of a reliability diagram."""
+
+    lower: float
+    upper: float
+    count: int
+    #: Mean predicted probability of the samples in the bin (NaN if empty).
+    mean_confidence: float
+    #: Observed positive (cooperative) frequency in the bin (NaN if empty).
+    observed_frequency: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "lower": self.lower,
+            "upper": self.upper,
+            "count": self.count,
+            "mean_confidence": self.mean_confidence,
+            "observed_frequency": self.observed_frequency,
+        }
+
+
+@dataclass(frozen=True)
+class ReliabilityDiagram:
+    """A full reliability diagram plus its headline scores."""
+
+    bins: tuple[ReliabilityBin, ...]
+    ece: float
+    brier: float
+    samples: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "bins": [bin.to_dict() for bin in self.bins],
+            "ece": self.ece,
+            "brier": self.brier,
+            "samples": self.samples,
+        }
+
+
+def brier_score(probabilities: Sequence[float], outcomes: Sequence[Any]) -> float:
+    """Mean squared error of the probability forecast (NaN when empty).
+
+    0 is a perfect forecast; 0.25 is what the uninformative constant 0.5
+    scores; a forecast can be worse than 1/4 only by being anti-calibrated.
+    """
+    probability_array, outcome_array = _validate(probabilities, outcomes)
+    if probability_array.size == 0:
+        return float("nan")
+    return float(np.mean((probability_array - outcome_array) ** 2))
+
+
+def _bin_indices(probability_array: np.ndarray, num_bins: int) -> np.ndarray:
+    """Fixed equal-width bin index per sample; 1.0 lands in the last bin."""
+    return np.minimum(
+        (probability_array * num_bins).astype(np.int64), num_bins - 1
+    )
+
+
+def reliability_diagram(
+    probabilities: Sequence[float],
+    outcomes: Sequence[Any],
+    num_bins: int = 10,
+) -> ReliabilityDiagram:
+    """Reliability diagram over ``num_bins`` fixed equal-width bins."""
+    if num_bins < 1:
+        raise ValueError(f"num_bins must be >= 1, got {num_bins}")
+    probability_array, outcome_array = _validate(probabilities, outcomes)
+    indices = _bin_indices(probability_array, num_bins)
+    bins = []
+    weighted_gap = 0.0
+    total = probability_array.size
+    for index in range(num_bins):
+        members = indices == index
+        count = int(np.sum(members))
+        if count:
+            confidence = float(np.mean(probability_array[members]))
+            frequency = float(np.mean(outcome_array[members]))
+            weighted_gap += (count / total) * abs(confidence - frequency)
+        else:
+            confidence = float("nan")
+            frequency = float("nan")
+        bins.append(
+            ReliabilityBin(
+                lower=index / num_bins,
+                upper=(index + 1) / num_bins,
+                count=count,
+                mean_confidence=confidence,
+                observed_frequency=frequency,
+            )
+        )
+    return ReliabilityDiagram(
+        bins=tuple(bins),
+        ece=weighted_gap if total else float("nan"),
+        brier=brier_score(probability_array, outcome_array),
+        samples=int(total),
+    )
+
+
+def expected_calibration_error(
+    probabilities: Sequence[float],
+    outcomes: Sequence[Any],
+    num_bins: int = 10,
+) -> float:
+    """ECE: bin-weighted |mean confidence − observed frequency| (NaN empty)."""
+    return reliability_diagram(probabilities, outcomes, num_bins=num_bins).ece

@@ -1,0 +1,222 @@
+"""Ground-truth adversary labels extracted from finished runs.
+
+The simulation engine knows exactly which identities the configured
+:class:`~repro.config.AdversarySpec` injected — sybil waves, whitewash
+rebirths, colluders, slanderers — and attaches that ground truth to the
+:class:`~repro.metrics.summary.RunSummary` of every adversary run
+(``summary.adversary_identities`` and the ``summary.detection`` payload).
+:class:`LabelSet` turns the payload into one
+``(peer_id, final_score, score_history, is_adversary)`` tuple per labelled
+peer, the unit every metric in :mod:`repro.detection.ranking` and
+:mod:`repro.detection.calibration` consumes.
+
+Labels are also recoverable from a recorded trace
+(:meth:`LabelSet.from_trace`): peers allocated during setup beyond the
+founding population were installed by the adversary, and every peer
+allocated while an ``adversary`` event was being handled was injected by
+it — the trace recorder attributes both.  Traces carry no reputation
+scores (state digests are hashes), so trace-derived labels have no score
+or history columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from ..metrics.summary import RunSummary
+    from ..trace.log import TraceLog
+
+__all__ = ["PeerLabel", "LabelSet"]
+
+#: Behaviour kinds whose peers serve cooperatively (mirrors
+#: ``Behavior.is_cooperative`` for the kinds a trace records).
+_COOPERATIVE_KINDS = frozenset({"cooperative"})
+
+
+@dataclass(frozen=True)
+class PeerLabel:
+    """One labelled identity: who it was, how it scored, what it was."""
+
+    peer_id: int
+    #: Ground truth: was this identity created/controlled by the adversary?
+    is_adversary: bool
+    #: Ground truth: does this peer serve cooperatively?  (Not the negation
+    #: of :attr:`is_adversary`: slanderers serve honestly while lying about
+    #: others, churn-storm joiners are cooperative identities the adversary
+    #: merely schedules.)  ``None`` when the source cannot tell (trace-
+    #: derived labels for setup-time peers).
+    cooperative: bool | None
+    #: Reputation score at the end of the run (``None`` for trace labels).
+    final_score: float | None = None
+    #: ``(time, score)`` samples, one per periodic snapshot the peer was an
+    #: active member for.  Empty for trace labels.
+    history: tuple[tuple[float, float], ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "peer_id": self.peer_id,
+            "is_adversary": self.is_adversary,
+            "cooperative": self.cooperative,
+            "final_score": self.final_score,
+            "history": [[time, score] for time, score in self.history],
+        }
+
+
+@dataclass(frozen=True)
+class LabelSet:
+    """Every labelled identity of one finished run."""
+
+    labels: tuple[PeerLabel, ...]
+    #: The run's admission threshold (``effective_min_intro_reputation``):
+    #: the score below which a member could no longer vouch for anyone —
+    #: the operating point time-to-detection is measured against.
+    threshold: float
+    scheme: str
+    #: Where the labels came from: ``"summary"`` or ``"trace"``.
+    source: str
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    # ------------------------------------------------------------------ #
+    # Views                                                                #
+    # ------------------------------------------------------------------ #
+    def cells(
+        self,
+    ) -> list[tuple[int, float | None, tuple[tuple[float, float], ...], bool]]:
+        """``(peer_id, final_score, score_history, is_adversary)`` per peer."""
+        return [
+            (label.peer_id, label.final_score, label.history, label.is_adversary)
+            for label in self.labels
+        ]
+
+    def adversary_ids(self) -> list[int]:
+        """Ids of every adversary-controlled identity, sorted."""
+        return sorted(label.peer_id for label in self.labels if label.is_adversary)
+
+    def scored(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(final_scores, is_adversary)`` arrays over peers with a score."""
+        scored = [label for label in self.labels if label.final_score is not None]
+        scores = np.array([label.final_score for label in scored], dtype=float)
+        flags = np.array([label.is_adversary for label in scored], dtype=bool)
+        return scores, flags
+
+    def suspicion(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(suspicion, is_adversary)``: negated scores, so the ranking
+        metrics' higher-score-is-more-positive convention means "a scheme
+        detects well when adversaries sit at the *bottom* of the reputation
+        ranking"."""
+        scores, flags = self.scored()
+        return -scores, flags
+
+    def service_probabilities(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(probability, outcome)`` pairs for calibration metrics.
+
+        Reads each reputation score as the predicted probability of good
+        service (clipped into [0, 1]) against the ground-truth cooperative
+        flag.  Peers with no score or unknown behaviour are skipped.
+        """
+        usable = [
+            label
+            for label in self.labels
+            if label.final_score is not None and label.cooperative is not None
+        ]
+        probabilities = np.clip(
+            np.array([label.final_score for label in usable], dtype=float), 0.0, 1.0
+        )
+        outcomes = np.array([label.cooperative for label in usable], dtype=bool)
+        return probabilities, outcomes
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                         #
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_summary(cls, summary: "RunSummary") -> "LabelSet":
+        """Labels of a finished adversary run, from its summary payload."""
+        payload = summary.detection
+        if payload is None:
+            raise ValueError(
+                "summary carries no detection payload — it was produced by a "
+                "run without an adversary (params.adversary is None)"
+            )
+        histories: dict[int, list[tuple[float, float]]] = {}
+        for time, ids, values in payload.get("snapshots", []):
+            for peer_id, value in zip(ids, values):
+                histories.setdefault(int(peer_id), []).append(
+                    (float(time), float(value))
+                )
+        labels = tuple(
+            PeerLabel(
+                peer_id=int(peer_id),
+                is_adversary=bool(is_adversary),
+                cooperative=bool(cooperative),
+                final_score=float(final_score),
+                history=tuple(histories.get(int(peer_id), ())),
+            )
+            for peer_id, final_score, is_adversary, cooperative in payload["peers"]
+        )
+        return cls(
+            labels=labels,
+            threshold=float(payload["threshold"]),
+            scheme=str(payload["scheme"]),
+            source="summary",
+        )
+
+    @classmethod
+    def from_trace(cls, log: "TraceLog") -> "LabelSet":
+        """Recover identity labels from a recorded trace.
+
+        Adversary identities are those allocated during setup beyond the
+        founding population (installing strategies run inside ``setup()``)
+        plus every peer allocated while an ``adversary`` event was handled
+        (the recorder attributes allocations to the record that caused
+        them).  Scores and histories are not recorded in traces, so those
+        columns are ``None``/empty here.
+        """
+        params = log.parameters()
+        founders = params.num_initial_peers
+        labels: dict[int, PeerLabel] = {}
+
+        def add(peer_id: int, is_adversary: bool, cooperative: bool | None) -> None:
+            labels[peer_id] = PeerLabel(
+                peer_id=peer_id, is_adversary=is_adversary, cooperative=cooperative
+            )
+
+        for record in log.records:
+            if record.kind == "setup":
+                # The setup record stores allocation counts, not behaviour
+                # kinds, so founder cooperativeness is unknown here.
+                for peer_id in range(founders):
+                    add(peer_id, False, None)
+                for peer_id in range(founders, int(record.payload["peers"])):
+                    add(peer_id, True, None)
+                continue
+            injected = record.kind == "adversary"
+            for document in record.payload.get("new_peers", ()):
+                add(
+                    int(document["id"]),
+                    injected,
+                    document["kind"] in _COOPERATIVE_KINDS,
+                )
+        ordered = tuple(labels[peer_id] for peer_id in sorted(labels))
+        return cls(
+            labels=ordered,
+            threshold=float(params.effective_min_intro_reputation()),
+            scheme=params.reputation_scheme,
+            source="trace",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialisation                                                        #
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "threshold": self.threshold,
+            "scheme": self.scheme,
+            "source": self.source,
+            "labels": [label.to_dict() for label in self.labels],
+        }

@@ -1,0 +1,290 @@
+"""Threshold-free ranking metrics, pure numpy (no sklearn).
+
+Every function follows the standard convention: a **higher score predicts
+the positive class**.  Detection callers therefore pass *suspicion*
+(negated reputation) with ``is_adversary`` as the positive label — see
+:meth:`repro.detection.labels.LabelSet.suspicion` — so an AUC of 1.0 means
+the scheme ranked every adversary below every honest peer.
+
+Tie handling is deterministic everywhere: samples sharing a score move
+through the ranking as one group (the ROC curve gains one vertex per
+distinct score, and the trapezoidal AUC equals the Mann-Whitney statistic
+with half credit for ties), and top-k selection breaks score ties by input
+position.  Results depend only on the input arrays, never on iteration
+order or hashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "RocCurve",
+    "ThresholdPoint",
+    "roc_curve",
+    "auc",
+    "average_precision",
+    "precision_at_k",
+    "precision_recall_f1",
+    "operating_point_auc",
+    "threshold_sweep",
+    "time_to_detection",
+]
+
+
+def _validate(
+    scores: Iterable[float], labels: Iterable[Any]
+) -> tuple[np.ndarray, np.ndarray]:
+    score_array = np.asarray(list(scores), dtype=float)
+    label_array = np.asarray(list(labels), dtype=bool)
+    if score_array.shape != label_array.shape:
+        raise ValueError(
+            f"scores and labels must align: {score_array.shape} vs {label_array.shape}"
+        )
+    if score_array.ndim != 1:
+        raise ValueError("scores must be one-dimensional")
+    return score_array, label_array
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """One ROC curve: the (FPR, TPR) staircase and its area.
+
+    ``thresholds[i]`` is the score at-or-above which a sample is called
+    positive to reach operating point ``(fpr[i], tpr[i])``; index 0 is the
+    call-nothing point ``(0, 0)`` with threshold ``inf``.
+    """
+
+    fpr: tuple[float, ...]
+    tpr: tuple[float, ...]
+    thresholds: tuple[float, ...]
+    auc: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "fpr": list(self.fpr),
+            "tpr": list(self.tpr),
+            "thresholds": list(self.thresholds),
+            "auc": self.auc,
+        }
+
+
+@dataclass(frozen=True)
+class ThresholdPoint:
+    """Precision/recall/F1 of the call-positive-at-or-above rule."""
+
+    threshold: float
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "threshold": self.threshold,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "false_negatives": self.false_negatives,
+        }
+
+
+def _tie_grouped_counts(
+    scores: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cumulative (TP, FP) after each distinct-score group, descending.
+
+    Returns ``(thresholds, tps, fps)`` where ``thresholds`` are the
+    distinct scores in descending order and ``tps[i]``/``fps[i]`` count the
+    positives/negatives with score >= ``thresholds[i]``.
+    """
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_labels = labels[order]
+    # The last index of every tie group of equal scores.
+    boundaries = np.nonzero(np.diff(sorted_scores))[0]
+    group_ends = np.concatenate([boundaries, [sorted_scores.size - 1]])
+    tps = np.cumsum(sorted_labels.astype(np.int64))[group_ends]
+    fps = (group_ends + 1) - tps
+    return sorted_scores[group_ends], tps, fps
+
+
+def roc_curve(scores: Sequence[float], labels: Sequence[Any]) -> RocCurve:
+    """ROC curve of ``scores`` against boolean ``labels``.
+
+    Tied scores form a single vertex (the whole tie group is called
+    positive together), so the curve — and its trapezoidal area — is
+    invariant under any reordering of the inputs.  With no positives or no
+    negatives the curve degenerates and the AUC is NaN.
+    """
+    score_array, label_array = _validate(scores, labels)
+    if score_array.size == 0:
+        return RocCurve(
+            fpr=(0.0,), tpr=(0.0,), thresholds=(float("inf"),), auc=float("nan")
+        )
+    thresholds, tps, fps = _tie_grouped_counts(score_array, label_array)
+    positives = int(tps[-1])
+    negatives = int(fps[-1])
+    if positives == 0 or negatives == 0:
+        area = float("nan")
+        tpr = np.zeros(tps.size) if positives == 0 else tps / positives
+        fpr = np.zeros(fps.size) if negatives == 0 else fps / negatives
+    else:
+        tpr = tps / positives
+        fpr = fps / negatives
+        full_tpr = np.concatenate([[0.0], tpr])
+        full_fpr = np.concatenate([[0.0], fpr])
+        # Trapezoidal rule, spelled out (np.trapz was deprecated in numpy 2).
+        area = float(
+            np.sum(np.diff(full_fpr) * (full_tpr[1:] + full_tpr[:-1]) / 2.0)
+        )
+    return RocCurve(
+        fpr=tuple(np.concatenate([[0.0], fpr]).tolist()),
+        tpr=tuple(np.concatenate([[0.0], tpr]).tolist()),
+        thresholds=tuple(np.concatenate([[np.inf], thresholds]).tolist()),
+        auc=area,
+    )
+
+
+def auc(scores: Sequence[float], labels: Sequence[Any]) -> float:
+    """Area under the ROC curve (ties get half credit; NaN if one-class)."""
+    return roc_curve(scores, labels).auc
+
+
+def average_precision(scores: Sequence[float], labels: Sequence[Any]) -> float:
+    """Average precision: precision-weighted recall increments.
+
+    ``AP = Σ_k (R_k − R_{k−1}) · P_k`` over the distinct-score groups in
+    descending order — the tie-grouped form of the area under the
+    precision-recall curve, deterministic under input reordering.  NaN when
+    there are no positive labels.
+    """
+    score_array, label_array = _validate(scores, labels)
+    if score_array.size == 0 or not label_array.any():
+        return float("nan")
+    _, tps, fps = _tie_grouped_counts(score_array, label_array)
+    positives = int(tps[-1])
+    recall = tps / positives
+    precision = tps / (tps + fps)
+    previous_recall = np.concatenate([[0.0], recall[:-1]])
+    return float(np.sum((recall - previous_recall) * precision))
+
+
+def precision_at_k(scores: Sequence[float], labels: Sequence[Any], k: int) -> float:
+    """Fraction of the top-``k`` scored samples that are positive.
+
+    Ties at the k-th position break by input order (stable sort), so the
+    result is deterministic for a fixed input ordering.
+    """
+    score_array, label_array = _validate(scores, labels)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if score_array.size == 0:
+        return float("nan")
+    top = np.argsort(-score_array, kind="stable")[: min(k, score_array.size)]
+    return float(np.mean(label_array[top]))
+
+
+def precision_recall_f1(
+    scores: Sequence[float], labels: Sequence[Any], threshold: float
+) -> ThresholdPoint:
+    """Precision/recall/F1 of calling every score >= ``threshold`` positive.
+
+    Empty-denominator conventions: precision is NaN when nothing is called
+    positive, recall is NaN when there are no positives, and F1 is 0.0
+    when precision + recall is 0 (and NaN when either side is NaN).
+    """
+    score_array, label_array = _validate(scores, labels)
+    called = score_array >= threshold
+    true_positives = int(np.sum(called & label_array))
+    false_positives = int(np.sum(called & ~label_array))
+    false_negatives = int(np.sum(~called & label_array))
+    precision = (
+        true_positives / (true_positives + false_positives)
+        if true_positives + false_positives
+        else float("nan")
+    )
+    recall = (
+        true_positives / (true_positives + false_negatives)
+        if true_positives + false_negatives
+        else float("nan")
+    )
+    if precision != precision or recall != recall:
+        f1 = float("nan")
+    elif precision + recall == 0.0:
+        f1 = 0.0
+    else:
+        f1 = 2.0 * precision * recall / (precision + recall)
+    return ThresholdPoint(
+        threshold=float(threshold),
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        true_positives=true_positives,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+    )
+
+
+def threshold_sweep(
+    scores: Sequence[float],
+    labels: Sequence[Any],
+    thresholds: Sequence[float] | None = None,
+) -> tuple[ThresholdPoint, ...]:
+    """Precision/recall/F1 at each threshold (default: distinct scores)."""
+    score_array, label_array = _validate(scores, labels)
+    if thresholds is None:
+        sweep: Sequence[float] = np.unique(score_array)[::-1].tolist()
+    else:
+        sweep = [float(value) for value in thresholds]
+    return tuple(
+        precision_recall_f1(score_array, label_array, threshold)
+        for threshold in sweep
+    )
+
+
+def operating_point_auc(
+    scores: Sequence[float], labels: Sequence[Any], threshold: float
+) -> float:
+    """AUC of the *thresholded* classifier: balanced accuracy at one cut.
+
+    The area under the two-segment ROC curve through the single operating
+    point ``score >= threshold``, i.e. ``(TPR + (1 − FPR)) / 2``.  Unlike
+    the full :func:`auc` this is **not** invariant under monotone rescaling
+    — it measures whether the separation is usable at a fixed threshold
+    (for reputation schemes: the admission threshold), which is exactly
+    where a ranking with a vanishing margin scores no better than chance
+    (0.5).  NaN when either class is empty.
+    """
+    score_array, label_array = _validate(scores, labels)
+    positives = int(np.sum(label_array))
+    negatives = score_array.size - positives
+    if positives == 0 or negatives == 0:
+        return float("nan")
+    called = score_array >= threshold
+    tpr = float(np.sum(called & label_array)) / positives
+    fpr = float(np.sum(called & ~label_array)) / negatives
+    return (tpr + 1.0 - fpr) / 2.0
+
+
+def time_to_detection(
+    history: Sequence[tuple[float, float]], threshold: float
+) -> float | None:
+    """First sample time at which a score drops below ``threshold``.
+
+    ``history`` is the ``(time, score)`` sequence of one identity (e.g.
+    :attr:`repro.detection.labels.PeerLabel.history`).  Returns ``None``
+    when the score never fell below the threshold — the identity was never
+    "detected" at this operating point.
+    """
+    for time, score in history:
+        if score < threshold:
+            return float(time)
+    return None

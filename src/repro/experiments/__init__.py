@@ -20,6 +20,7 @@ Experiment identifiers (see DESIGN.md §3):
 ``figure6`` Figure 6 — final counts and refusals vs freerider arrival fraction
 ``scheme_comparison`` cross-backend newcomer/whitewashing table (ours)
 ``robustness_matrix`` scheme x attack grid over the adversary registry (ours)
+``detection_eval`` detection ranking + calibration per scheme x attack (ours)
 =========  ==========================================================
 """
 
@@ -34,6 +35,7 @@ from .figure5_lent_proportion import Figure5LentProportion
 from .figure6_freerider_fraction import Figure6FreeriderFraction
 from .scheme_comparison import SchemeComparison
 from .robustness_matrix import RobustnessMatrix
+from .detection_eval import DetectionEval
 from .runner import EXPERIMENTS, make_experiment, run_all, render_report
 
 __all__ = [
@@ -49,6 +51,7 @@ __all__ = [
     "Figure6FreeriderFraction",
     "SchemeComparison",
     "RobustnessMatrix",
+    "DetectionEval",
     "EXPERIMENTS",
     "make_experiment",
     "run_all",

@@ -76,8 +76,12 @@ class RobustnessMatrix(Experiment):
         **kwargs,
     ) -> None:
         super().__init__(*args, **kwargs)
-        self.schemes = tuple(schemes)
-        self.attacks = tuple(attacks)
+        # Canonical (sorted) cell order: the grid means the same thing in any
+        # order, and sorting makes the emitted artifact diff cleanly across
+        # runs and registry reorderings.  Cell seeds derive from point labels,
+        # so ordering does not perturb any cell's result.
+        self.schemes = tuple(sorted(schemes))
+        self.attacks = tuple(sorted(attacks))
 
     # ------------------------------------------------------------------ #
     # Sweep construction                                                   #

@@ -65,6 +65,7 @@ from ..parallel.cache import RunCache
 from ..parallel.executor import Executor
 from ..parallel.specs import RunSpec
 from .base import Experiment, ExperimentResult
+from .detection_eval import DetectionEval
 from .figure1_growth import Figure1Growth
 from .figure2_reputation_time import Figure2ReputationOverTime
 from .figure3_naive_proportion import Figure3NaiveProportion
@@ -102,6 +103,7 @@ EXPERIMENTS: dict[str, Type[Experiment]] = {
     "figure6": Figure6FreeriderFraction,
     "scheme_comparison": SchemeComparison,
     "robustness_matrix": RobustnessMatrix,
+    "detection_eval": DetectionEval,
 }
 
 
@@ -123,8 +125,14 @@ def make_experiment(
     base_params: SimulationParameters | None = None,
     executor: Executor | None = None,
     cache: RunCache | None = None,
+    **kwargs,
 ) -> Experiment:
-    """Instantiate the experiment registered under ``experiment_id``."""
+    """Instantiate the experiment registered under ``experiment_id``.
+
+    Extra keyword arguments are forwarded to the experiment's constructor —
+    e.g. ``schemes=...``/``attacks=...`` to restrict the grid experiments to
+    a sub-grid (the report generator's smoke configuration does this).
+    """
     experiment_cls = require_known(experiment_id)
     return experiment_cls(
         scale=scale,
@@ -133,6 +141,7 @@ def make_experiment(
         base_params=base_params,
         executor=executor,
         cache=cache,
+        **kwargs,
     )
 
 

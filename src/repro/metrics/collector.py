@@ -40,6 +40,17 @@ class MetricsCollector:
     audits_passed: int = 0
     audits_failed: int = 0
 
+    # Per-peer score snapshots ---------------------------------------------------
+    #: When set (the engine turns it on for adversary runs only), every
+    #: periodic sample also keeps the raw ``(time, active ids, scores)``
+    #: triple it already read — the score histories the detection subsystem
+    #: (:mod:`repro.detection`) labels against ground truth.  Off by default,
+    #: so plain runs stay byte-identical to the seed engine.
+    capture_scores: bool = False
+    score_snapshots: list[tuple[float, tuple[int, ...], tuple[float, ...]]] = field(
+        default_factory=list
+    )
+
     # Time series ---------------------------------------------------------------
     cooperative_reputation: TimeSeries = field(
         default_factory=lambda: TimeSeries(name="avg_cooperative_reputation")
@@ -142,6 +153,14 @@ class MetricsCollector:
         else:
             reputation_of = store.global_reputation
             values = [reputation_of(peer_id) for peer_id in active_ids]
+        if self.capture_scores:
+            self.score_snapshots.append(
+                (
+                    float(time),
+                    tuple(int(peer_id) for peer_id in active_ids),
+                    tuple(float(value) for value in values),
+                )
+            )
         coop_values: list[float] = []
         uncoop_values: list[float] = []
         coop_append = coop_values.append

@@ -40,6 +40,13 @@ def summary_digest(summary: "RunSummary") -> str:
     # sharded engine is bit-identical to the serial one, and the digest is
     # exactly how that identity is asserted.
     document.pop("sharding", None)
+    # Detection ground truth is derived observability data: the adversary
+    # identity list and per-peer score snapshots are read off state the run
+    # already produced, so two runs that agree on everything else cannot
+    # disagree on them — stripping keeps cached fingerprints and recorded
+    # trace digests stable across summaries with and without the payload.
+    document.pop("adversary_identities", None)
+    document.pop("detection", None)
     text = json.dumps(document, sort_keys=True)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
@@ -90,6 +97,16 @@ class RunSummary:
     #: set by :class:`repro.sim.sharded.ShardedSimulation`, ``None`` on
     #: serial runs.  Execution metadata, excluded from :func:`summary_digest`.
     sharding: dict[str, Any] | None = None
+    #: Every identity the configured adversary ever controlled (including
+    #: burned whitewash identities that only appear in the event stream), as
+    #: a sorted id list.  ``None`` on runs without an adversary.  Derived
+    #: observability data, excluded from :func:`summary_digest`.
+    adversary_identities: list[int] | None = None
+    #: Ground-truth detection payload (per-peer final scores, labels and
+    #: score-history snapshots) attached by the engine on adversary runs;
+    #: consumed by :meth:`repro.detection.LabelSet.from_summary`.  ``None``
+    #: without an adversary.  Excluded from :func:`summary_digest`.
+    detection: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------ #
     # Derived quantities                                                    #
@@ -205,6 +222,10 @@ class RunSummary:
         }
         if self.sharding is not None:
             document["sharding"] = dict(self.sharding)
+        if self.adversary_identities is not None:
+            document["adversary_identities"] = list(self.adversary_identities)
+        if self.detection is not None:
+            document["detection"] = self.detection
         return document
 
     @classmethod
@@ -253,4 +274,10 @@ class RunSummary:
             uncooperative_count=TimeSeries.from_dict(data["uncooperative_count"]),
             elapsed_seconds=float(data["elapsed_seconds"]),
             sharding=data.get("sharding"),
+            adversary_identities=(
+                [int(peer_id) for peer_id in data["adversary_identities"]]
+                if data.get("adversary_identities") is not None
+                else None
+            ),
+            detection=data.get("detection"),
         )

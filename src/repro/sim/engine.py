@@ -121,6 +121,11 @@ class Simulation:
         self.adversary = (
             make_adversary(params.adversary) if params.adversary is not None else None
         )
+        # Adversary runs keep the per-peer scores every periodic sample
+        # already reads, so the detection subsystem (repro.detection) can
+        # label score histories against ground truth.  Plain runs leave the
+        # flag off and stay byte-identical to the seed engine.
+        self.metrics.capture_scores = self.adversary is not None
         self._initialized = False
         self._finished = False
         # Observers of the event dispatch (see :meth:`attach_tracer`).  The
@@ -423,7 +428,7 @@ class Simulation:
     # Results                                                              #
     # ------------------------------------------------------------------ #
     def _summary(self, elapsed_seconds: float) -> RunSummary:
-        return RunSummary.from_run(
+        summary = RunSummary.from_run(
             params=self.params,
             seed=self.seed,
             collector=self.metrics,
@@ -434,6 +439,45 @@ class Simulation:
             final_rejected=len(self.population.peers_with_status(PeerStatus.REJECTED)),
             elapsed_seconds=elapsed_seconds,
         )
+        if self.adversary is not None:
+            summary.adversary_identities = sorted(
+                {int(peer_id) for peer_id in self.adversary.attacker_ids}
+            )
+            summary.detection = self._detection_payload(summary.adversary_identities)
+        return summary
+
+    def _detection_payload(self, adversary_identities: list[int]) -> dict:
+        """Ground-truth labelling data for :mod:`repro.detection`.
+
+        One row per identity the run ever allocated — including WAITING and
+        REJECTED peers: a whitewash rebirth refused at the door *is* a
+        detected adversary, and dropping it would bias every detection
+        metric toward the identities that got in — plus the raw score
+        snapshots the metrics collector captured at every periodic sample.
+        Runs *after* the final state digest and persistence checkpoint, so
+        the extra backend reads cannot perturb trace bisection or
+        checkpointed state.
+        """
+        adversary_ids = set(adversary_identities)
+        reputation_of = self.store.global_reputation
+        peers = [
+            [
+                int(peer.peer_id),
+                float(reputation_of(peer.peer_id)),
+                1 if peer.peer_id in adversary_ids else 0,
+                1 if peer.is_cooperative else 0,
+            ]
+            for peer in sorted(self.population, key=lambda p: p.peer_id)
+        ]
+        return {
+            "threshold": float(self.params.effective_min_intro_reputation()),
+            "scheme": self.params.reputation_scheme,
+            "peers": peers,
+            "snapshots": [
+                [time, list(ids), list(values)]
+                for time, ids, values in self.metrics.score_snapshots
+            ],
+        }
 
 
 def run_simulation(

@@ -53,11 +53,18 @@ def canonical(summary) -> str:
 
     ``params`` legitimately differ between the two arms (one carries the
     adversary spec), and ``elapsed_seconds`` is wall-clock time; every
-    simulated quantity must match exactly.
+    simulated quantity must match exactly.  Ground-truth detection labels
+    (``adversary_identities``/``detection``) exist only on the registry
+    arm for the same reason ``params`` differ — labelling is gated on the
+    spec — and they are derived *from* the simulated state rather than
+    part of it, so they are excluded too (``summary_digest`` strips them
+    for the same reason).
     """
     document = summary.to_dict()
     document.pop("elapsed_seconds")
     document.pop("params")
+    document.pop("adversary_identities", None)
+    document.pop("detection", None)
     return json.dumps(document, sort_keys=True)
 
 

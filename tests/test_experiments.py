@@ -8,6 +8,7 @@ from repro.analysis.storage import ResultStore
 from repro.config import SimulationParameters
 from repro.experiments import (
     EXPERIMENTS,
+    DetectionEval,
     Figure1Growth,
     Figure2ReputationOverTime,
     Figure3NaiveProportion,
@@ -58,6 +59,7 @@ class TestRegistry:
             "figure6",
             "scheme_comparison",
             "robustness_matrix",
+            "detection_eval",
         }
 
     def test_make_experiment_unknown_id(self):
@@ -237,6 +239,74 @@ class TestRobustnessMatrix:
         from repro.experiments.scheme_comparison import MAX_COMPARISON_TRANSACTIONS
 
         experiment = RobustnessMatrix(scale=1.0, repeats=1, seed=1)
+        assert (
+            experiment._effective_scale()
+            * experiment.base_params.num_transactions
+            == pytest.approx(MAX_COMPARISON_TRANSACTIONS)
+        )
+
+
+class TestDetectionEval:
+    def test_one_cell_per_scheme_attack_pair(self):
+        experiment = smoke(
+            DetectionEval,
+            schemes=("rocq", "tit_for_tat"),
+            attacks=("whitewash_waves",),
+        )
+        result = experiment.run_and_validate()
+        # 6 detection metrics per attack, each with one point per scheme.
+        assert len(result.series) == 6
+        for points in result.series.values():
+            assert len(points) == 2
+        assert set(result.x_ticks.values()) == {"rocq", "tit_for_tat"}
+        assert result.scalars["cells"] == 2.0
+        assert result.scalars["adversary identities per run"] > 0
+        assert result.all_checks_passed
+
+    def test_grids_are_canonically_sorted(self):
+        experiment = smoke(
+            DetectionEval,
+            schemes=("tit_for_tat", "rocq"),
+            attacks=("whitewash_waves", "churn_storm"),
+        )
+        assert experiment.schemes == ("rocq", "tit_for_tat")
+        assert experiment.attacks == ("churn_storm", "whitewash_waves")
+        # The robustness matrix sorts the same way, so the two grids' cells
+        # line up in the consolidated report.
+        matrix = smoke(
+            RobustnessMatrix,
+            schemes=("tit_for_tat", "rocq"),
+            attacks=("whitewash_waves", "churn_storm"),
+        )
+        assert matrix.schemes == experiment.schemes
+        assert matrix.attacks == experiment.attacks
+
+    def test_lending_separates_whitewashers_at_the_admission_threshold(self):
+        """The acceptance-criterion cell: plain AUC can rank perfectly with
+        an unusable margin (tit_for_tat holds whitewashers at 0.89), so the
+        comparison runs at the admission threshold."""
+        experiment = smoke(
+            DetectionEval,
+            schemes=("rocq", "tit_for_tat"),
+            attacks=("whitewash_waves",),
+        )
+        result = experiment.run()
+        admission = dict(result.series["whitewash_waves: admission auc"])
+        assert admission[0.0] > admission[1.0] + 0.1  # rocq vs tit_for_tat
+
+    def test_every_cell_carries_its_adversary_spec(self):
+        experiment = smoke(
+            DetectionEval, schemes=("rocq",), attacks=("sybil_swarm",)
+        )
+        horizon = experiment.base_params.num_transactions
+        points = experiment._points(horizon)
+        assert len(points) == 1
+        assert points[0].overrides["adversary"].name == "sybil_swarm"
+
+    def test_horizon_is_capped_at_comparison_scale(self):
+        from repro.experiments.scheme_comparison import MAX_COMPARISON_TRANSACTIONS
+
+        experiment = DetectionEval(scale=1.0, repeats=1, seed=1)
         assert (
             experiment._effective_scale()
             * experiment.base_params.num_transactions
